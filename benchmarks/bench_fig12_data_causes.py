@@ -1,0 +1,15 @@
+"""Figure 12: Crash Causes for Kernel Data Injection."""
+
+from repro.injection.outcomes import CampaignKind
+from benchmarks.conftest import run_slice
+
+
+def test_bench_fig12(benchmark, bench_study, bench_contexts):
+    result = benchmark.pedantic(
+        run_slice, args=("ppc", CampaignKind.DATA, 100,
+                         bench_contexts["ppc"]),
+        rounds=1, iterations=1)
+    assert result.injected == 100
+
+    print()
+    print(bench_study.render_figure(12))

@@ -1,0 +1,19 @@
+"""Figure 16 A-D: Distribution of Cycles-to-Crash.
+
+Prints the four panels (stack / register / code / data latency
+histograms for both platforms, in the paper's 3k..>1G buckets) and
+times the histogram computation over all crashes.
+"""
+
+from repro.analysis.latency import latency_histogram
+
+
+def test_bench_fig16(benchmark, bench_study):
+    everything = (bench_study.results_for("x86")
+                  + bench_study.results_for("ppc"))
+
+    histogram = benchmark(latency_histogram, everything)
+    assert sum(histogram.values()) > 0
+
+    print()
+    print(bench_study.render_latency_figure())

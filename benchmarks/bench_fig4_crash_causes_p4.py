@@ -1,0 +1,18 @@
+"""Figure 4: Overall Distribution of Crash Causes on the P4.
+
+Union of all P4 campaigns; paper vs measured side by side.  The timed
+body classifies the accumulated crash reports (the off-line analysis
+step the paper runs over its crash dump database).
+"""
+
+from repro.analysis.figures import crash_cause_percentages
+
+
+def test_bench_fig4(benchmark, bench_study):
+    results = bench_study.results_for("x86")
+
+    percentages = benchmark(crash_cause_percentages, results)
+    assert percentages, "expected some known crashes"
+
+    print()
+    print(bench_study.render_figure(4))

@@ -1,0 +1,13 @@
+"""Figure 5: Overall Distribution of Crash Causes on the G4."""
+
+from repro.analysis.figures import crash_cause_percentages
+
+
+def test_bench_fig5(benchmark, bench_study):
+    results = bench_study.results_for("ppc")
+
+    percentages = benchmark(crash_cause_percentages, results)
+    assert percentages, "expected some known crashes"
+
+    print()
+    print(bench_study.render_figure(5))

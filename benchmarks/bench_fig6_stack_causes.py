@@ -1,0 +1,20 @@
+"""Figure 6: Crash Causes for Kernel Stack Injection (both platforms).
+
+The headline split: Stack Overflow + Bad Area dominate the G4 (the
+exception-entry wrapper); Bad Paging + NULL Pointer dominate the P4
+(no stack-overflow detection, so errors propagate to memory faults).
+"""
+
+from repro.injection.outcomes import CampaignKind
+from benchmarks.conftest import run_slice
+
+
+def test_bench_fig6(benchmark, bench_study, bench_contexts):
+    result = benchmark.pedantic(
+        run_slice, args=("ppc", CampaignKind.STACK, 30,
+                         bench_contexts["ppc"]),
+        rounds=1, iterations=1)
+    assert result.injected == 30
+
+    print()
+    print(bench_study.render_figure(6))

@@ -1,0 +1,32 @@
+"""Substrate microbenchmarks: simulated instructions per second.
+
+Not a paper figure, but the number every campaign cost scales with:
+how fast each simulated processor retires the kernel workload.
+"""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.workload.driver import UnixBenchDriver
+
+
+@pytest.mark.parametrize("arch", ["x86", "ppc"])
+def test_bench_workload_throughput(benchmark, arch):
+    machine = Machine(arch)
+    machine.boot()
+    driver = UnixBenchDriver(machine, seed=0)
+    driver.setup()
+    base = machine.fork()
+
+    state = {"instret": 0}
+
+    def run_ops():
+        clone = base.fork()
+        clone_driver = UnixBenchDriver(clone, seed=0)
+        import copy
+        clone_driver.programs = copy.deepcopy(driver.programs)
+        clone_driver.run(10)
+        state["instret"] = clone.cpu.instret - base.cpu.instret
+
+    benchmark.pedantic(run_ops, rounds=3, iterations=1)
+    print(f"\n{arch}: ~{state['instret']} instructions per 10 ops")

@@ -1,0 +1,46 @@
+"""Table 1: Experiment Setup Summary.
+
+Prints the paper's setup table alongside this reproduction's simulated
+equivalents, and benchmarks what 'setting up a target machine' costs
+here: building the kernel image and booting a machine for each
+platform.
+"""
+
+import pytest
+
+from repro.core.config import EXPERIMENT_SETUP
+from repro.kernel.build import build_kernel
+from repro.machine.machine import Machine
+
+
+def _print_table():
+    print()
+    print("=== Table 1: Experiment Setup Summary ===")
+    header = (f"{'Platform':<6} {'Processor':<22} {'GHz':>4} "
+              f"{'MB':>4} {'Distribution':<14} {'Kernel':<8} "
+              f"{'Compiler':<10}")
+    print(header)
+    for arch, row in EXPERIMENT_SETUP.items():
+        print(f"{arch:<6} {row['processor']:<22} "
+              f"{row['cpu_clock_ghz']:>4} {row['memory_mb']:>4} "
+              f"{row['distribution']:<14} {row['linux_kernel']:<8} "
+              f"{row['compiler']:<10}")
+    for arch in ("x86", "ppc"):
+        image = build_kernel(arch)
+        print(f"  simulated {arch}: text {len(image.text_bytes)} B, "
+              f"data {len(image.data_bytes)} B, "
+              f"{len(image.functions)} kernel functions")
+
+
+@pytest.mark.parametrize("arch", ["x86", "ppc"])
+def test_bench_machine_boot(benchmark, arch):
+    build_kernel(arch)                      # image build outside timing
+
+    def boot():
+        machine = Machine(arch)
+        machine.boot()
+        return machine
+
+    machine = benchmark(boot)
+    assert machine.booted
+    _print_table()

@@ -1,0 +1,20 @@
+"""Table 5: Error Activation and Failure Distribution on the P4.
+
+Regenerates the paper's Table 5 rows (stack / system registers / data /
+code) from the benchmark study's P4 campaigns, prints paper vs
+measured, and times a representative injection-campaign slice.
+"""
+
+from repro.injection.outcomes import CampaignKind
+from benchmarks.conftest import run_slice
+
+
+def test_bench_table5(benchmark, bench_study, bench_contexts):
+    result = benchmark.pedantic(
+        run_slice, args=("x86", CampaignKind.STACK, 25,
+                         bench_contexts["x86"]),
+        rounds=1, iterations=1)
+    assert result.injected == 25
+
+    print()
+    print(bench_study.render_table("x86"))

@@ -1,0 +1,20 @@
+"""Table 6: Error Activation and Failure Distribution on the G4.
+
+Regenerates the paper's Table 6 rows from the benchmark study's G4
+campaigns, prints paper vs measured, and times a representative
+injection-campaign slice.
+"""
+
+from repro.injection.outcomes import CampaignKind
+from benchmarks.conftest import run_slice
+
+
+def test_bench_table6(benchmark, bench_study, bench_contexts):
+    result = benchmark.pedantic(
+        run_slice, args=("ppc", CampaignKind.STACK, 25,
+                         bench_contexts["ppc"]),
+        rounds=1, iterations=1)
+    assert result.injected == 25
+
+    print()
+    print(bench_study.render_table("ppc"))

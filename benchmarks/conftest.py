@@ -1,0 +1,61 @@
+"""Shared benchmark fixtures.
+
+The full study (all eight campaigns, both platforms) runs once per
+benchmark session at a scaled-down size; each ``bench_*`` file then
+regenerates its table or figure from those results and also times a
+representative slice of the pipeline that produces it.
+
+Scale with ``REPRO_BENCH_SCALE`` (default 1.0 multiplies the sizes
+below; e.g. ``REPRO_BENCH_SCALE=4 pytest benchmarks/`` quadruples every
+campaign).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import Study, StudyConfig
+from repro.injection.outcomes import CampaignKind
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: per-campaign sizes at scale 1.0 (chosen to finish in a few minutes)
+BENCH_SIZES = {
+    CampaignKind.CODE: 100,
+    CampaignKind.STACK: 200,
+    CampaignKind.DATA: 600,
+    CampaignKind.REGISTER: 120,
+}
+
+
+def _sizes() -> dict:
+    return {kind: max(20, int(count * _SCALE))
+            for kind, count in BENCH_SIZES.items()}
+
+
+@pytest.fixture(scope="session")
+def bench_study() -> Study:
+    sizes = _sizes()
+    config = StudyConfig(seed=7, ops=40, overrides={
+        "x86": dict(sizes), "ppc": dict(sizes),
+    })
+    study = Study(config)
+    study.run()
+    return study
+
+
+@pytest.fixture(scope="session")
+def bench_contexts(bench_study):
+    from repro.injection.campaign import CampaignContext
+    return {arch: CampaignContext.get(arch, 7, 40)
+            for arch in ("x86", "ppc")}
+
+
+def run_slice(arch: str, kind: CampaignKind, count: int, context):
+    """A small representative campaign used as the timed body."""
+    from repro.injection.campaign import Campaign, CampaignConfig
+    config = CampaignConfig(arch=arch, kind=kind, count=count,
+                            seed=1234, ops=40)
+    return Campaign(config, context).run()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Paper Figure 13: a data error surfaces as Invalid Instruction.
+
+A single bit flip in a spinlock's SPINLOCK_MAGIC word (0xDEAD4EAD, in
+the kernel data section) is caught by the spin_lock debug check, which
+executes ud2a — so the crash is reported as an *Invalid Instruction*
+even though the root cause is a data error.  The paper calls out this
+detection scheme as fast but misleading for diagnosis.
+"""
+
+from repro.analysis.classify import classify_crash
+from repro.injection.outcomes import CrashCauseP4
+from repro.isa.bits import bit_flip
+from repro.kernel.abi import SPINLOCK_MAGIC, Syscall
+from repro.machine.events import KernelCrash
+from repro.machine.machine import Machine, MachineConfig
+
+
+def main() -> None:
+    machine = Machine("x86", config=MachineConfig(
+        seed=3, dump_loss_probability=0.0))
+    machine.boot()
+
+    image = machine.image
+    lock = image.globals["pipe_lock"]
+    magic_offset = image.field("spinlock_t", "magic").offset
+    magic_addr = lock.addr + magic_offset
+
+    original = machine.cpu.mem.read_u32(magic_addr, True)
+    assert original == SPINLOCK_MAGIC
+    corrupted = bit_flip(original, 22)           # 4E -> 0E, as in Fig 13
+    machine.cpu.mem.write_u32(magic_addr, corrupted, True)
+    print(f"pipe_lock.magic: {original:#010x} -> {corrupted:#010x} "
+          f"(one flipped bit in the kernel data section)")
+
+    machine._switch_to(3)
+    task = machine.tasks[3]
+    machine.write_user(task, 0, b"ping")
+    try:
+        machine.syscall(Syscall.PIPE_WRITE, task.user_buf, 4)
+    except KernelCrash as crash:
+        report = crash.report
+        cause = classify_crash(report)
+        print()
+        print(f"crash vector:  {report.vector.name}")
+        print(f"classified as: {cause.value}")
+        print(f"in function:   {report.function}()")
+        print()
+        print("The spin_lock magic check detected the corruption")
+        print("quickly — but by executing ud2a, so the crash dump says")
+        print("'Invalid Instruction' and hides the data-error origin.")
+        assert cause is CrashCauseP4.INVALID_INSTRUCTION
+        assert report.function == "spin_lock"
+        return
+    raise SystemExit("expected the spinlock check to trap")
+
+
+if __name__ == "__main__":
+    main()

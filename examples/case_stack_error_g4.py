@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Paper Figure 9: a kernel stack error on the G4 crashes fast.
+
+Reproduces the kjournald() scenario: a corrupted word on the kernel
+stack is loaded into a register (the paper's `lwz r11,40(r31)` picking
+up the bogus value 1), the next dereference touches an invalid kernel
+address, and the DSI handler — after the exception-entry wrapper checks
+the stack pointer — reports "kernel access of bad area" within a couple
+of thousand cycles.
+"""
+
+from repro.injection.collector import CrashDataCollector
+from repro.kernel.abi import Syscall
+from repro.machine.events import KernelCrash
+from repro.machine.machine import Machine, MachineConfig
+from repro.ppc.disasm import disassemble_range
+
+
+def main() -> None:
+    machine = Machine("ppc", config=MachineConfig(
+        seed=1, dump_loss_probability=0.0))
+    collector = CrashDataCollector()
+    machine.nic.receiver = collector.receive
+    machine.boot()
+
+    image = machine.image
+    info = image.functions["kjournald"]
+    code = image.text_bytes[info.addr - image.text_base:
+                            info.addr - image.text_base + 32]
+    print("=== kjournald() prologue (fs subsystem, G4 compile) ===")
+    for line in disassemble_range(code, info.addr, 6):
+        print("   ", line)
+
+    # Corrupt the journal's running-transaction pointer the way the
+    # paper's stack error corrupted the value feeding r11: the loaded
+    # pointer becomes the invalid kernel address 1.
+    journal = image.globals["the_journal"]
+    little = image.little_endian
+    machine.cpu.mem.write_u32(journal.addr, 1, little)
+
+    cycles_before = machine.cpu.cycles
+    try:
+        machine.run_kthread(2)                   # kjournald pass
+    except KernelCrash as crash:
+        report = crash.report
+        print()
+        print("=== crash ===")
+        print(f"  vector:    {report.vector.name} "
+              f"(kernel access of bad area)")
+        print(f"  address:   {report.address:#010x} "
+              f"(the paper's example faults at 0x0000004d)")
+        print(f"  in:        {report.function}() "
+              f"[{report.subsystem} subsystem]")
+        latency = report.cycles_at_crash - cycles_before
+        print(f"  latency:   {latency} cycles "
+              f"(paper: 1,592 cycles / 210 instructions)")
+        print(f"  dump:      {'delivered' if report.dump_delivered else 'lost'}"
+              f" to the remote collector "
+              f"({collector.count} records)")
+        assert latency < 20_000, "expected a fast G4 crash"
+        return
+    raise SystemExit("expected kjournald to crash")
+
+
+if __name__ == "__main__":
+    main()

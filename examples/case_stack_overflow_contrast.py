@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Paper Sections 5.1/6: the stack-overflow detection contrast.
+
+Corrupt the running kernel's stack pointer identically on both
+platforms and watch the two kernels disagree:
+
+* the G4 kernel's exception-entry wrapper checks the stack pointer
+  against the task's 8 KiB stack and reports **Stack Overflow**;
+* the P4 kernel has no such check — the same corruption propagates and
+  surfaces as **Bad Paging** (or is lost entirely when the exception
+  handler cannot even push its frame).
+"""
+
+from repro.analysis.classify import classify_crash
+from repro.kernel.abi import Syscall
+from repro.machine.events import KernelCrash
+from repro.machine.machine import Machine, MachineConfig
+
+
+def corrupt_stack_pointer(arch: str):
+    machine = Machine(arch, config=MachineConfig(
+        seed=9, dump_loss_probability=0.0))
+    machine.boot()
+    machine._switch_to(3)
+
+    def wreck():
+        if arch == "x86":
+            machine.cpu.regs[4] ^= 0x00100000    # ESP leaves the stack
+        else:
+            machine.cpu.gpr[1] ^= 0x00100000     # r1 leaves the stack
+
+    machine.schedule_action(machine.cpu.instret + 200, wreck)
+    task = machine.tasks[3]
+    machine.write_user(task, 0, bytes(64))
+    try:
+        fd = machine.syscall(Syscall.OPEN, 1)
+        machine.syscall(Syscall.WRITE, fd, task.user_buf, 64)
+        machine.syscall(Syscall.GETPID)
+    except KernelCrash as crash:
+        return crash.report
+    raise SystemExit(f"{arch}: expected a crash")
+
+
+def main() -> None:
+    for arch, label in (("ppc", "G4"), ("x86", "P4")):
+        report = corrupt_stack_pointer(arch)
+        cause = classify_crash(report)
+        print(f"=== {label}: identical stack-pointer corruption ===")
+        print(f"   raw vector:      {report.vector.name}")
+        print(f"   wrapper flagged: {report.stack_out_of_range}")
+        print(f"   dump possible:   {not report.dump_failed}")
+        print(f"   classified as:   {cause.value}")
+        print()
+
+    print("The G4 wrapper turns the corruption into an explicit Stack")
+    print("Overflow; the P4 kernel reports a generic memory fault (or")
+    print("double-faults with no dump at all), which is why the Stack")
+    print("Overflow category exists only in the paper's Table 4.")
+
+
+if __name__ == "__main__":
+    main()

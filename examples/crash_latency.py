@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Paper Figure 16 / Section 6: cycles-to-crash by campaign.
+
+Runs the stack and code campaigns on both platforms and prints the
+latency histograms in the paper's buckets, showing the two opposite
+trends:
+
+* stack errors crash *fast on the G4* (the exception-entry wrapper)
+  and slower on the P4 (no detection, errors propagate);
+* code errors crash *fast on the P4* (instruction-stream
+  resynchronization fails fast) and slower on the G4 (the corrupted
+  instruction takes effect on the function's next invocation, and 32
+  GPRs keep wrong values alive longer).
+"""
+
+from repro.analysis.latency import BUCKET_LABELS, latency_percentages
+from repro.core import CampaignKind, run_campaign
+
+
+def panel(kind: CampaignKind, counts: dict) -> None:
+    print(f"--- latency, {kind.value} campaign ---")
+    print(f"{'platform':<10}" + "".join(f"{b:>8}"
+                                        for b in BUCKET_LABELS))
+    for arch, count in counts.items():
+        outcome = run_campaign(arch, kind, count=count, seed=21,
+                               ops=40)
+        percentages = latency_percentages(outcome.results)
+        label = "Pentium" if arch == "x86" else "PPC"
+        print(f"{label:<10}" + "".join(
+            f"{percentages[bucket]:7.1f}%" for bucket in BUCKET_LABELS))
+    print()
+
+
+def main() -> None:
+    panel(CampaignKind.STACK, {"x86": 150, "ppc": 150})
+    panel(CampaignKind.CODE, {"x86": 60, "ppc": 60})
+
+
+if __name__ == "__main__":
+    main()

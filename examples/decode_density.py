@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Paper Section 5.3, quantified: what does a bit flip do to an
+instruction on each architecture?
+
+For every instruction in the compiled kernel's hot functions, flip
+every bit of its encoding and decode the result:
+
+* on the P4 (variable-length CISC) most flips still decode to *valid*
+  instructions — often with a different length, desynchronizing the
+  stream (fewer Invalid Instruction crashes, more wild memory
+  accesses);
+* on the G4 (fixed 32-bit RISC) a large share of flips land in
+  unassigned encoding space (Illegal Instruction).
+"""
+
+from repro.kernel.build import build_kernel
+from repro.ppc import decoder as ppc_decoder
+from repro.x86 import decoder as x86_decoder
+
+
+def x86_stats(image, functions):
+    total = valid = length_changed = 0
+    for name in functions:
+        info = image.functions[name]
+        base = info.addr - image.text_base
+        for index, addr in enumerate(info.insn_addrs):
+            offset = addr - image.text_base
+            if index + 1 < len(info.insn_addrs):
+                length = info.insn_addrs[index + 1] - addr
+            else:
+                length = info.addr + info.size - addr
+            raw = bytearray(image.text_bytes[offset:offset + 12])
+            raw.extend(b"\x00" * 12)
+            for bit in range(length * 8):
+                mutated = bytearray(raw)
+                mutated[bit // 8] ^= 1 << (bit % 8)
+                instr = x86_decoder.decode(bytes(mutated), addr)
+                total += 1
+                if instr.execute is not x86_decoder.exec_invalid:
+                    valid += 1
+                    if instr.length != length:
+                        length_changed += 1
+    return total, valid, length_changed
+
+
+def ppc_stats(image, functions):
+    total = valid = 0
+    for name in functions:
+        info = image.functions[name]
+        base = info.addr - image.text_base
+        for offset in range(base, base + info.size, 4):
+            word = int.from_bytes(
+                image.text_bytes[offset:offset + 4], "big")
+            for bit in range(32):
+                instr = ppc_decoder.decode(word ^ (1 << bit))
+                total += 1
+                if instr.execute is not ppc_decoder.exec_illegal:
+                    valid += 1
+    return total, valid
+
+
+def main() -> None:
+    functions = ["memcpy", "getblk", "sys_read", "sys_write",
+                 "schedule", "do_syscall", "alloc_skb"]
+
+    x86 = build_kernel("x86")
+    total, valid, resync = x86_stats(x86, functions)
+    print("=== P4 (variable-length CISC) ===")
+    print(f"  bit flips tried:        {total}")
+    print(f"  still decode valid:     {valid} "
+          f"({100 * valid / total:.1f}%)")
+    print(f"  ...with changed length: {resync} "
+          f"({100 * resync / total:.1f}%)  <- stream resynchronizes")
+
+    ppc = build_kernel("ppc")
+    total_p, valid_p = ppc_stats(ppc, functions)
+    print()
+    print("=== G4 (fixed 32-bit RISC) ===")
+    print(f"  bit flips tried:        {total_p}")
+    print(f"  still decode valid:     {valid_p} "
+          f"({100 * valid_p / total_p:.1f}%)")
+    print(f"  illegal encodings:      {total_p - valid_p} "
+          f"({100 * (total_p - valid_p) / total_p:.1f}%)"
+          f"  <- Illegal Instruction")
+    print()
+    print("Paper: code crashes are 24.2% Invalid Instruction on the")
+    print("P4 versus 41.5% on the G4; the decode densities above are")
+    print("the mechanism.")
+
+
+if __name__ == "__main__":
+    main()

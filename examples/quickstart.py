@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: run a miniature version of the paper's full study.
+
+Runs all eight campaigns (stack / system registers / data / code on
+both the P4-like and G4-like targets) at a small scale and prints the
+paper's Table 5, Table 6, the stack crash-cause figure, and the
+cycles-to-crash panels — each with paper-vs-measured columns.
+
+Takes a couple of minutes.  Increase the sizes for tighter statistics.
+"""
+
+from repro.core import CampaignKind, Study, StudyConfig
+
+
+def main() -> None:
+    config = StudyConfig(
+        seed=42,
+        ops=40,
+        overrides={
+            arch: {
+                CampaignKind.STACK: 120,
+                CampaignKind.REGISTER: 80,
+                CampaignKind.DATA: 400,
+                CampaignKind.CODE: 60,
+            }
+            for arch in ("x86", "ppc")
+        },
+    )
+    study = Study(config)
+
+    for arch in ("x86", "ppc"):
+        for kind in (CampaignKind.STACK, CampaignKind.REGISTER,
+                     CampaignKind.DATA, CampaignKind.CODE):
+            print(f"running {arch} {kind.value} campaign "
+                  f"({config.campaign_count(arch, kind)} injections)...")
+            study.run_campaign(arch, kind)
+
+    print()
+    print(study.render_table("x86"))
+    print()
+    print(study.render_table("ppc"))
+    print()
+    print(study.render_figure(6))
+    print()
+    print(study.render_latency_figure())
+
+
+if __name__ == "__main__":
+    main()

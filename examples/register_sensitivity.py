@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Paper Section 5.2: which system registers actually matter.
+
+Runs a register campaign on both platforms and breaks the outcomes
+down *per register* — reproducing the paper's observation that out of
+~20 P4 and 99 G4 system registers, only a handful (CR0, FS/GS, ESP,
+EIP, EFLAGS on the P4; MSR, SDR1, SPRG2, BATs, HID0 on the G4) ever
+produce a crash, while the rest absorb bit flips silently.
+"""
+
+from collections import defaultdict
+
+from repro.core import CampaignKind, run_campaign
+from repro.injection.outcomes import Outcome
+
+
+def breakdown(arch: str, count: int) -> None:
+    label = "P4" if arch == "x86" else "G4"
+    print(f"=== {label}: {count} system-register injections ===")
+    outcome = run_campaign(arch, CampaignKind.REGISTER, count=count,
+                           seed=13, ops=40)
+    per_register = defaultdict(lambda: [0, 0])
+    for result in outcome.results:
+        bucket = per_register[result.target.name]
+        bucket[0] += 1
+        if result.outcome.manifested and \
+                result.outcome is not Outcome.NOT_MANIFESTED:
+            bucket[1] += 1
+    manifesting = {name: counts for name, counts in
+                   per_register.items() if counts[1]}
+    silent = len(per_register) - len(manifesting)
+    print(f"  registers hit: {len(per_register)}; "
+          f"manifesting: {len(manifesting)}; silent: {silent}")
+    for name, (injected, manifested) in sorted(
+            manifesting.items(), key=lambda kv: -kv[1][1]):
+        print(f"    {name:<12} {manifested}/{injected} manifested")
+    print()
+
+
+def main() -> None:
+    breakdown("x86", 220)
+    breakdown("ppc", 260)
+    print("Paper: only 7 of ~20 P4 registers and 15 of 99 G4 registers")
+    print("contributed any crash or hang.")
+
+
+if __name__ == "__main__":
+    main()

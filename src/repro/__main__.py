@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``study``
+    Run the full eight-campaign study and print every table and figure.
+``campaign``
+    Run a single campaign and print its row, crash causes, latency.
+``profile``
+    Print the kernel usage profile the code campaign targets.
+``disasm``
+    Disassemble a kernel function on either architecture.
+``report``
+    Regenerate the EXPERIMENTS.md-style paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.figures import render_distribution
+from repro.analysis.latency import BUCKET_LABELS, latency_percentages
+from repro.analysis.tables import build_row, render_table
+from repro.core import Study, StudyConfig
+from repro.injection.campaign import run_campaign
+from repro.injection.outcomes import CampaignKind
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arch", choices=["x86", "ppc"],
+                        default="x86",
+                        help="target platform (default: x86/P4)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ops", type=int, default=40,
+                        help="monitored workload window (operations)")
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    config = StudyConfig(seed=args.seed, scale=args.scale,
+                         ops=args.ops)
+    study = Study(config)
+    for arch in ("x86", "ppc"):
+        for kind in CampaignKind:
+            count = config.campaign_count(arch, kind)
+            print(f"running {arch}/{kind.value} ({count} injections)...",
+                  file=sys.stderr)
+            study.run_campaign(arch, kind)
+    print(study.render_all())
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    kind = CampaignKind(args.kind)
+    outcome = run_campaign(args.arch, kind, count=args.count,
+                           seed=args.seed, ops=args.ops)
+    row = build_row(kind, outcome.results)
+    print(render_table([row],
+                       "Pentium 4" if args.arch == "x86" else "PPC G4"))
+    print()
+    print(render_distribution(outcome.results,
+                              f"{kind.value} crash causes", args.arch))
+    print()
+    percentages = latency_percentages(outcome.results)
+    print("latency:  " + "  ".join(
+        f"{label}:{percentages[label]:.0f}%" for label in BUCKET_LABELS
+        if percentages[label]))
+    if kind is CampaignKind.CODE:
+        from repro.analysis.sensitivity import render_sensitivity
+        from repro.injection.campaign import CampaignContext
+        image = CampaignContext.get(args.arch, args.seed,
+                                    args.ops).base_machine.image
+        print()
+        print(render_sensitivity(outcome.results, image,
+                                 f"{args.arch} code campaign"))
+    if args.json:
+        from repro.analysis.export import dump_results
+        count = dump_results(outcome.results, args.json)
+        print(f"\nwrote {count} records to {args.json}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.workload.profiler import profile_kernel
+    profile = profile_kernel(args.arch, seed=args.seed, ops=args.ops)
+    total = sum(profile.counts.values()) or 1
+    print(f"kernel usage profile ({args.arch}, {profile.samples} "
+          f"samples):")
+    accumulated = 0.0
+    for name, count in sorted(profile.counts.items(),
+                              key=lambda kv: -kv[1]):
+        share = 100.0 * count / total
+        accumulated += share
+        print(f"  {name:<24} {share:5.1f}%   (cum {accumulated:5.1f}%)")
+        if accumulated >= 99.5:
+            break
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.kernel.build import build_kernel
+    image = build_kernel(args.arch)
+    info = image.functions.get(args.function)
+    if info is None:
+        print(f"no kernel function named {args.function!r}; "
+              f"try one of: {', '.join(sorted(image.functions)[:12])} ...",
+              file=sys.stderr)
+        return 1
+    code = image.text_bytes[info.addr - image.text_base:
+                            info.addr - image.text_base + info.size]
+    if args.arch == "x86":
+        from repro.x86.disasm import disassemble_range
+        lines = disassemble_range(code, info.addr, count=10_000)
+    else:
+        from repro.ppc.disasm import disassemble_range
+        lines = disassemble_range(code, info.addr, count=10_000)
+    print(f"{args.function} [{info.subsystem}] @ {info.addr:#010x}, "
+          f"{info.size} bytes:")
+    for line in lines:
+        print("  " + line)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from examples.generate_experiments_report import main as report_main
+    report_main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DSN 2004 kernel error-sensitivity reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="run the full study")
+    study.add_argument("--scale", type=float, default=0.01,
+                       help="fraction of the paper's campaign sizes")
+    study.add_argument("--seed", type=int, default=0)
+    study.add_argument("--ops", type=int, default=40)
+    study.set_defaults(func=cmd_study)
+
+    campaign = sub.add_parser("campaign", help="run one campaign")
+    _add_common(campaign)
+    campaign.add_argument("--kind", required=True,
+                          choices=[kind.value for kind in CampaignKind])
+    campaign.add_argument("-n", "--count", type=int, default=100)
+    campaign.add_argument("--json", metavar="PATH",
+                          help="also dump results as JSON lines")
+    campaign.set_defaults(func=cmd_campaign)
+
+    profile = sub.add_parser("profile", help="kernel usage profile")
+    _add_common(profile)
+    profile.set_defaults(func=cmd_profile)
+
+    disasm = sub.add_parser("disasm", help="disassemble a kernel fn")
+    _add_common(disasm)
+    disasm.add_argument("function")
+    disasm.set_defaults(func=cmd_disasm)
+
+    report = sub.add_parser("report",
+                            help="paper-vs-measured report (stdout)")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

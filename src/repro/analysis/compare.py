@@ -1,0 +1,269 @@
+"""The paper's published numbers, and paper-vs-measured comparison.
+
+Reference values are transcribed from the paper:
+
+* Tables 5 and 6 (activation + failure distribution per campaign);
+* Figures 4-6 and 10-12 (crash-cause distributions, in percent of
+  known crashes);
+* Section 6's cycles-to-crash statements (as checkable shape claims).
+
+The reproduction is *shape-faithful*, not number-exact: the substrate
+is a simulator, campaign sizes are scaled, and the kernel is a
+miniature.  ``render_comparison`` therefore reports paper vs measured
+side by side, and the shape assertions live in
+``tests/test_shapes.py`` / ``benchmarks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.figures import crash_cause_percentages
+from repro.analysis.tables import CampaignRow
+from repro.injection.outcomes import (
+    CampaignKind, CrashCauseG4, CrashCauseP4,
+)
+
+# ---------------------------------------------------------------------------
+# Tables 5 / 6 reference (percent values as printed in the paper)
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    injected: int
+    activation_pct: Optional[float]      # None = N/A
+    not_manifested_pct: float
+    fsv_pct: float
+    crash_known_pct: float
+    hang_unknown_pct: float
+
+    @property
+    def manifested_pct(self) -> float:
+        return self.fsv_pct + self.crash_known_pct + self.hang_unknown_pct
+
+
+PAPER_TABLE5_P4: Dict[CampaignKind, PaperRow] = {
+    CampaignKind.STACK: PaperRow(10_143, 29.3, 43.9, 0.0, 38.2, 17.9),
+    CampaignKind.REGISTER: PaperRow(3_866, None, 89.5, 0.0, 7.9, 2.6),
+    CampaignKind.DATA: PaperRow(46_000, 0.5, 34.1, 0.0, 42.5, 23.4),
+    CampaignKind.CODE: PaperRow(1_790, 54.9, 31.4, 1.3, 46.3, 21.0),
+}
+
+PAPER_TABLE6_G4: Dict[CampaignKind, PaperRow] = {
+    CampaignKind.STACK: PaperRow(3_017, 39.9, 78.9, 0.0, 14.3, 7.0),
+    CampaignKind.REGISTER: PaperRow(3_967, None, 95.1, 0.0, 1.7, 3.1),
+    CampaignKind.DATA: PaperRow(46_000, 1.5, 78.3, 1.0, 7.8, 12.9),
+    CampaignKind.CODE: PaperRow(2_188, 64.7, 41.0, 2.3, 40.7, 16.0),
+}
+
+
+def paper_table(arch: str) -> Dict[CampaignKind, PaperRow]:
+    return PAPER_TABLE5_P4 if arch == "x86" else PAPER_TABLE6_G4
+
+
+# ---------------------------------------------------------------------------
+# Figures 4-6, 10-12 reference (percent of known crashes)
+
+PAPER_FIG4_P4_OVERALL = {
+    CrashCauseP4.BAD_PAGING: 43.2,
+    CrashCauseP4.NULL_POINTER: 27.5,
+    CrashCauseP4.INVALID_INSTRUCTION: 16.0,
+    CrashCauseP4.GENERAL_PROTECTION: 12.1,
+    CrashCauseP4.INVALID_TSS: 1.0,
+    CrashCauseP4.KERNEL_PANIC: 0.1,
+    CrashCauseP4.DIVIDE_ERROR: 0.1,
+    CrashCauseP4.BOUNDS_TRAP: 0.1,
+}
+
+PAPER_FIG5_G4_OVERALL = {
+    CrashCauseG4.BAD_AREA: 66.9,
+    CrashCauseG4.ILLEGAL_INSTRUCTION: 16.3,
+    CrashCauseG4.STACK_OVERFLOW: 12.7,
+    CrashCauseG4.ALIGNMENT: 1.6,
+    CrashCauseG4.MACHINE_CHECK: 1.4,
+    CrashCauseG4.BUS_ERROR: 0.7,
+    CrashCauseG4.BAD_TRAP: 0.4,
+    CrashCauseG4.PANIC: 0.1,
+}
+
+PAPER_FIG6_STACK = {
+    "x86": {
+        CrashCauseP4.BAD_PAGING: 45.4,
+        CrashCauseP4.NULL_POINTER: 31.5,
+        CrashCauseP4.INVALID_INSTRUCTION: 15.9,
+        CrashCauseP4.GENERAL_PROTECTION: 5.5,
+        CrashCauseP4.INVALID_TSS: 1.0,
+        CrashCauseP4.KERNEL_PANIC: 0.4,
+        CrashCauseP4.DIVIDE_ERROR: 0.2,
+    },
+    "ppc": {
+        CrashCauseG4.BAD_AREA: 53.5,
+        CrashCauseG4.STACK_OVERFLOW: 41.9,
+        CrashCauseG4.ILLEGAL_INSTRUCTION: 2.9,
+        CrashCauseG4.ALIGNMENT: 1.2,
+        CrashCauseG4.MACHINE_CHECK: 0.6,
+    },
+}
+
+PAPER_FIG10_REGISTER = {
+    "x86": {
+        CrashCauseP4.BAD_PAGING: 37.4,
+        CrashCauseP4.GENERAL_PROTECTION: 35.1,
+        CrashCauseP4.NULL_POINTER: 18.4,
+        CrashCauseP4.INVALID_INSTRUCTION: 6.2,
+        CrashCauseP4.INVALID_TSS: 3.0,
+    },
+    "ppc": {
+        CrashCauseG4.BAD_AREA: 75.4,
+        CrashCauseG4.ILLEGAL_INSTRUCTION: 11.6,
+        CrashCauseG4.STACK_OVERFLOW: 4.3,
+        CrashCauseG4.MACHINE_CHECK: 4.3,
+        CrashCauseG4.ALIGNMENT: 1.4,
+        CrashCauseG4.BUS_ERROR: 1.4,
+        CrashCauseG4.BAD_TRAP: 1.4,
+    },
+}
+
+PAPER_FIG11_CODE = {
+    "x86": {
+        CrashCauseP4.BAD_PAGING: 38.0,
+        CrashCauseP4.NULL_POINTER: 31.9,
+        CrashCauseP4.INVALID_INSTRUCTION: 24.2,
+        CrashCauseP4.GENERAL_PROTECTION: 5.5,
+        CrashCauseP4.DIVIDE_ERROR: 0.2,
+    },
+    "ppc": {
+        CrashCauseG4.BAD_AREA: 49.5,
+        CrashCauseG4.ILLEGAL_INSTRUCTION: 41.5,
+        CrashCauseG4.STACK_OVERFLOW: 4.7,
+        CrashCauseG4.ALIGNMENT: 1.9,
+        CrashCauseG4.BUS_ERROR: 1.2,
+        CrashCauseG4.MACHINE_CHECK: 0.5,
+        CrashCauseG4.PANIC: 0.5,
+        CrashCauseG4.BAD_TRAP: 0.2,
+    },
+}
+
+PAPER_FIG12_DATA = {
+    "x86": {
+        CrashCauseP4.BAD_PAGING: 52.1,
+        CrashCauseP4.NULL_POINTER: 28.1,
+        CrashCauseP4.INVALID_INSTRUCTION: 17.7,
+        CrashCauseP4.GENERAL_PROTECTION: 2.1,
+    },
+    "ppc": {
+        CrashCauseG4.BAD_AREA: 89.1,
+        CrashCauseG4.ILLEGAL_INSTRUCTION: 9.1,
+        CrashCauseG4.ALIGNMENT: 1.8,
+    },
+}
+
+PAPER_FIGURES = {
+    4: ("Overall crash causes (P4)", "x86", PAPER_FIG4_P4_OVERALL),
+    5: ("Overall crash causes (G4)", "ppc", PAPER_FIG5_G4_OVERALL),
+}
+
+PAPER_FIGURES_BY_KIND = {
+    (6, "x86"): PAPER_FIG6_STACK["x86"],
+    (6, "ppc"): PAPER_FIG6_STACK["ppc"],
+    (10, "x86"): PAPER_FIG10_REGISTER["x86"],
+    (10, "ppc"): PAPER_FIG10_REGISTER["ppc"],
+    (11, "x86"): PAPER_FIG11_CODE["x86"],
+    (11, "ppc"): PAPER_FIG11_CODE["ppc"],
+    (12, "x86"): PAPER_FIG12_DATA["x86"],
+    (12, "ppc"): PAPER_FIG12_DATA["ppc"],
+}
+
+FIGURE_OF_KIND = {
+    CampaignKind.STACK: 6,
+    CampaignKind.REGISTER: 10,
+    CampaignKind.CODE: 11,
+    CampaignKind.DATA: 12,
+}
+
+# Section 6 latency claims, as (campaign, arch, bound-cycles, direction,
+# percent) tuples: "80% of G4 stack-error crashes are within 3k cycles".
+PAPER_LATENCY_CLAIMS = (
+    (CampaignKind.STACK, "ppc", 3_000, "below", 80.0),
+    (CampaignKind.STACK, "x86", 3_000, "above", 80.0),
+    (CampaignKind.CODE, "x86", 10_000, "below", 70.0),
+    (CampaignKind.CODE, "ppc", 10_000, "above", 85.0),
+)
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def render_table_comparison(rows: Iterable[CampaignRow],
+                            arch: str) -> str:
+    """Paper vs measured for Table 5/6 percentages.
+
+    The measured column carries a Wilson 95% interval — at scaled
+    campaign sizes the sampling error matters, and the interval says
+    how much a given run actually supports.
+    """
+    from repro.analysis.stats import wilson
+
+    reference = paper_table(arch)
+    label = "Table 5 (P4)" if arch == "x86" else "Table 6 (G4)"
+    lines: List[str] = [
+        f"=== {label}: paper vs measured (percent, "
+        f"[Wilson 95%]) ===",
+        f"{'Campaign':<18} {'metric':<16} {'paper':>8} {'measured':>9} "
+        f"{'95% CI':>16}",
+    ]
+    for row in rows:
+        paper = reference[row.kind]
+        denominator = row.denominator
+        pairs = [
+            ("activated", paper.activation_pct, row.activation_pct,
+             row.activated, row.injected),
+            ("not manifested", paper.not_manifested_pct,
+             row.pct(row.not_manifested), row.not_manifested,
+             denominator),
+            ("fsv", paper.fsv_pct, row.pct(row.fsv), row.fsv,
+             denominator),
+            ("known crash", paper.crash_known_pct,
+             row.pct(row.crash_known), row.crash_known, denominator),
+            ("hang/unknown", paper.hang_unknown_pct,
+             row.pct(row.hang_unknown), row.hang_unknown, denominator),
+            ("manifested", paper.manifested_pct, row.manifested_pct,
+             row.fsv + row.crash_known + row.hang_unknown,
+             denominator),
+        ]
+        for metric, expected, measured, successes, trials in pairs:
+            expected_text = "N/A" if expected is None \
+                else f"{expected:7.1f}%"
+            if measured is None or successes is None:
+                measured_text = "N/A"
+                interval_text = ""
+            else:
+                measured_text = f"{measured:7.1f}%"
+                interval = wilson(successes, max(trials, 1))
+                interval_text = (f"[{100 * interval.low:4.1f},"
+                                 f"{100 * interval.high:5.1f}]")
+            lines.append(f"{row.label:<18} {metric:<16} "
+                         f"{expected_text:>8} {measured_text:>9} "
+                         f"{interval_text:>16}")
+    return "\n".join(lines)
+
+
+def render_figure_comparison(results, figure: int, arch: str,
+                             title: str) -> str:
+    """Paper vs measured for one crash-cause figure."""
+    if figure in PAPER_FIGURES:
+        reference = PAPER_FIGURES[figure][2]
+    else:
+        reference = PAPER_FIGURES_BY_KIND[(figure, arch)]
+    measured = crash_cause_percentages(results)
+    lines = [f"=== Figure {figure}: {title} — paper vs measured ===",
+             f"{'cause':<26} {'paper':>8} {'measured':>9}"]
+    causes = sorted(set(reference) | set(measured),
+                    key=lambda c: -(reference.get(c, 0.0)))
+    for cause in causes:
+        lines.append(
+            f"{cause.value:<26} {reference.get(cause, 0.0):7.1f}% "
+            f"{measured.get(cause, 0.0):8.1f}%")
+    return "\n".join(lines)

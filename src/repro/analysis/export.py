@@ -1,0 +1,94 @@
+"""JSON persistence for campaign results.
+
+Campaigns are cheap to re-run at small scale but expensive at paper
+scale; this module round-trips :class:`InjectionResult` lists through
+JSON so studies can be accumulated across processes and archived next
+to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.injection.outcomes import (
+    CampaignKind, CrashCauseG4, CrashCauseP4, InjectionResult, Outcome,
+)
+
+_CAUSES = {cause.value: cause
+           for cause in list(CrashCauseP4) + list(CrashCauseG4)}
+
+
+def result_to_dict(result: InjectionResult) -> dict:
+    target = result.target
+    if target is not None and dataclasses.is_dataclass(target):
+        target_payload: Optional[dict] = dict(
+            type=type(target).__name__,
+            **dataclasses.asdict(target))
+    else:
+        target_payload = None
+    return {
+        "arch": result.arch,
+        "kind": result.kind.value,
+        "outcome": result.outcome.value,
+        "cause": result.cause.value if result.cause else None,
+        "cause_arch": ("x86" if isinstance(result.cause, CrashCauseP4)
+                       else "ppc") if result.cause else None,
+        "activation_cycles": result.activation_cycles,
+        "crash_cycles": result.crash_cycles,
+        "detail": result.detail,
+        "function": result.function,
+        "subsystem": result.subsystem,
+        "screened": result.screened,
+        "target": target_payload,
+    }
+
+
+def result_from_dict(payload: dict) -> InjectionResult:
+    cause = None
+    if payload.get("cause"):
+        cause = _CAUSES[payload["cause"]]
+    return InjectionResult(
+        arch=payload["arch"],
+        kind=CampaignKind(payload["kind"]),
+        target=payload.get("target"),
+        outcome=Outcome(payload["outcome"]),
+        cause=cause,
+        activation_cycles=payload.get("activation_cycles"),
+        crash_cycles=payload.get("crash_cycles"),
+        detail=payload.get("detail", ""),
+        function=payload.get("function", ""),
+        subsystem=payload.get("subsystem", ""),
+        screened=payload.get("screened", False),
+    )
+
+
+def dump_results(results: Iterable[InjectionResult], path: str) -> int:
+    """Write results as JSON lines; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for result in results:
+            handle.write(json.dumps(result_to_dict(result)) + "\n")
+            count += 1
+    return count
+
+
+def load_results(path: str) -> List[InjectionResult]:
+    out: List[InjectionResult] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(result_from_dict(json.loads(line)))
+    return out
+
+
+def dump_study(study, path_prefix: str) -> Dict[str, int]:
+    """Write one JSONL file per (arch, kind); returns counts."""
+    written: Dict[str, int] = {}
+    for arch, per_kind in study.results.items():
+        for kind, results in per_kind.items():
+            path = f"{path_prefix}.{arch}.{kind.value}.jsonl"
+            written[path] = dump_results(results, path)
+    return written

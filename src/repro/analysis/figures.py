@@ -1,0 +1,65 @@
+"""Crash-cause distributions (the paper's Figures 4-6, 10-12).
+
+Each figure is the distribution of :mod:`repro.analysis.classify`
+causes over the *known* crashes of one campaign (or, for Figures 4/5,
+the union of all campaigns on one platform).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.injection.outcomes import (
+    CrashCauseG4, CrashCauseP4, InjectionResult, Outcome,
+)
+
+
+def crash_cause_distribution(results: Iterable[InjectionResult]
+                             ) -> Dict[object, int]:
+    """Counts per crash cause over known crashes."""
+    counts: Dict[object, int] = {}
+    for result in results:
+        if result.outcome is not Outcome.CRASH_KNOWN:
+            continue
+        if result.cause is None:
+            continue
+        counts[result.cause] = counts.get(result.cause, 0) + 1
+    return counts
+
+
+def crash_cause_percentages(results: Iterable[InjectionResult]
+                            ) -> Dict[object, float]:
+    counts = crash_cause_distribution(results)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {cause: 100.0 * count / total
+            for cause, count in counts.items()}
+
+
+def all_causes_for(arch: str) -> Tuple[object, ...]:
+    if arch == "x86":
+        return tuple(CrashCauseP4)
+    return tuple(CrashCauseG4)
+
+
+def render_distribution(results: Iterable[InjectionResult],
+                        title: str, arch: str) -> str:
+    """Text pie chart: one line per cause, heaviest first."""
+    results = list(results)
+    counts = crash_cause_distribution(results)
+    total = sum(counts.values())
+    lines: List[str] = [f"--- {title} (Total {total}) ---"]
+    if total == 0:
+        lines.append("(no known crashes)")
+        return "\n".join(lines)
+    for cause in sorted(all_causes_for(arch),
+                        key=lambda c: -counts.get(c, 0)):
+        count = counts.get(cause, 0)
+        if count == 0:
+            continue
+        percent = 100.0 * count / total
+        bar = "#" * int(round(percent / 2))
+        lines.append(f"{cause.value:<26} {percent:5.1f}%  ({count:>4})  "
+                     f"{bar}")
+    return "\n".join(lines)

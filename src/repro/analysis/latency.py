@@ -1,0 +1,70 @@
+"""Cycles-to-crash histograms (the paper's Figure 16 A-D).
+
+Buckets follow the paper's axis: 3k, 10k, 100k, 1M, 10M, 100M, 1G, >1G
+— each label is the bucket's inclusive upper bound in CPU cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.injection.outcomes import InjectionResult, Outcome
+
+#: (label, upper bound); the last bucket is open-ended
+LATENCY_BUCKETS: Tuple[Tuple[str, Optional[int]], ...] = (
+    ("3k", 3_000),
+    ("10k", 10_000),
+    ("100k", 100_000),
+    ("1M", 1_000_000),
+    ("10M", 10_000_000),
+    ("100M", 100_000_000),
+    ("1G", 1_000_000_000),
+    (">1G", None),
+)
+
+BUCKET_LABELS = tuple(label for label, _bound in LATENCY_BUCKETS)
+
+
+def bucket_of(latency: int) -> str:
+    for label, bound in LATENCY_BUCKETS:
+        if bound is None or latency <= bound:
+            return label
+    return BUCKET_LABELS[-1]            # pragma: no cover
+
+
+def latency_histogram(results: Iterable[InjectionResult]
+                      ) -> Dict[str, int]:
+    """Histogram of cycles-to-crash over the crashed results."""
+    histogram = {label: 0 for label in BUCKET_LABELS}
+    for result in results:
+        latency = result.latency
+        if latency is None:
+            continue
+        if result.outcome not in (Outcome.CRASH_KNOWN,
+                                  Outcome.CRASH_UNKNOWN):
+            continue
+        histogram[bucket_of(latency)] += 1
+    return histogram
+
+
+def latency_percentages(results: Iterable[InjectionResult]
+                        ) -> Dict[str, float]:
+    histogram = latency_histogram(results)
+    total = sum(histogram.values())
+    if total == 0:
+        return {label: 0.0 for label in BUCKET_LABELS}
+    return {label: 100.0 * count / total
+            for label, count in histogram.items()}
+
+
+def cumulative_percent_below(results: Iterable[InjectionResult],
+                             cycles: int) -> float:
+    """Share of crashes with latency <= *cycles* (for shape checks)."""
+    latencies: List[int] = [result.latency for result in results
+                            if result.latency is not None
+                            and result.outcome in
+                            (Outcome.CRASH_KNOWN, Outcome.CRASH_UNKNOWN)]
+    if not latencies:
+        return 0.0
+    below = sum(1 for value in latencies if value <= cycles)
+    return 100.0 * below / len(latencies)

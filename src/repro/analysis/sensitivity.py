@@ -1,0 +1,86 @@
+"""Per-subsystem sensitivity breakdown.
+
+The paper attributes crashes to kernel functions/subsystems via crash
+dump analysis (its case studies name free_pages_ok in mm/, alloc_skb in
+net/, kupdate and kjournald in fs/).  This module aggregates the same
+attribution across a whole campaign: which subsystem's code was
+executing when the system died, and — for code campaigns — which
+subsystem's *injected* errors manifest most often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.injection.outcomes import (
+    CampaignKind, InjectionResult, Outcome,
+)
+
+
+@dataclass
+class SubsystemRow:
+    subsystem: str
+    crashes: int
+    injected: int = 0                  # code campaigns only
+    manifested: int = 0
+
+    @property
+    def manifestation_pct(self) -> float:
+        if not self.injected:
+            return 0.0
+        return 100.0 * self.manifested / self.injected
+
+
+def crash_site_breakdown(results: Iterable[InjectionResult]
+                         ) -> Dict[str, int]:
+    """Subsystem whose code was executing at the crash."""
+    out: Dict[str, int] = {}
+    for result in results:
+        if result.outcome is not Outcome.CRASH_KNOWN:
+            continue
+        site = result.subsystem or "(outside kernel text)"
+        out[site] = out.get(site, 0) + 1
+    return out
+
+
+def code_target_sensitivity(results: Iterable[InjectionResult],
+                            image) -> List[SubsystemRow]:
+    """For code campaigns: manifestation per *injected* subsystem."""
+    rows: Dict[str, SubsystemRow] = {}
+    for result in results:
+        if result.kind is not CampaignKind.CODE:
+            continue
+        target = result.target
+        if target is None or not hasattr(target, "function"):
+            continue
+        info = image.functions.get(target.function)
+        subsystem = info.subsystem if info else "?"
+        row = rows.setdefault(subsystem,
+                              SubsystemRow(subsystem, 0))
+        row.injected += 1
+        if result.outcome.manifested:
+            row.manifested += 1
+        if result.outcome is Outcome.CRASH_KNOWN:
+            row.crashes += 1
+    return sorted(rows.values(), key=lambda row: -row.injected)
+
+
+def render_sensitivity(results: Iterable[InjectionResult],
+                       image, title: str) -> str:
+    results = list(results)
+    lines = [f"--- subsystem sensitivity: {title} ---"]
+    sites = crash_site_breakdown(results)
+    total = sum(sites.values()) or 1
+    lines.append("crash sites:")
+    for subsystem, count in sorted(sites.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {subsystem:<24} {count:>4} "
+                     f"({100 * count / total:.1f}%)")
+    rows = code_target_sensitivity(results, image)
+    if rows:
+        lines.append("code-injection manifestation by subsystem:")
+        for row in rows:
+            lines.append(f"  {row.subsystem:<24} "
+                         f"{row.manifested}/{row.injected} "
+                         f"({row.manifestation_pct:.0f}%)")
+    return "\n".join(lines)

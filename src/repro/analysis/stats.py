@@ -1,0 +1,99 @@
+"""Statistical helpers for campaign percentages.
+
+The paper reports point percentages over tens of thousands of
+injections; scaled reproductions run hundreds, so the sampling error is
+material.  This module provides Wilson score intervals for the
+proportions in Tables 5/6 and a two-proportion z-test for the
+cross-platform comparisons (e.g. "P4 stack manifestation exceeds
+G4's"), so downstream users can state how much their scaled runs
+actually support.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+#: z for 95% two-sided
+Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Proportion:
+    """A measured proportion with its Wilson 95% interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def point(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def point_pct(self) -> float:
+        return 100.0 * self.point
+
+    def __str__(self) -> str:
+        return (f"{self.point_pct:.1f}% "
+                f"[{100 * self.low:.1f}, {100 * self.high:.1f}]")
+
+
+def wilson(successes: int, trials: int, z: float = Z95) -> Proportion:
+    """Wilson score interval — well-behaved at small n and extreme p."""
+    if successes < 0 or trials < 0 or successes > trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if trials == 0:
+        return Proportion(0, 0, 0.0, 1.0)
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    centre = phat + z * z / (2 * trials)
+    margin = z * math.sqrt(
+        (phat * (1 - phat) + z * z / (4 * trials)) / trials)
+    low = max(0.0, (centre - margin) / denom)
+    high = min(1.0, (centre + margin) / denom)
+    # the boundary cases are exact; remove float residue so the
+    # interval always contains the point estimate
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return Proportion(successes, trials, low, high)
+
+
+def two_proportion_z(successes_a: int, trials_a: int,
+                     successes_b: int, trials_b: int) -> float:
+    """z statistic for H0: p_a == p_b (pooled)."""
+    if trials_a == 0 or trials_b == 0:
+        return 0.0
+    pa = successes_a / trials_a
+    pb = successes_b / trials_b
+    pooled = (successes_a + successes_b) / (trials_a + trials_b)
+    if pooled in (0.0, 1.0):
+        return 0.0
+    se = math.sqrt(pooled * (1 - pooled)
+                   * (1 / trials_a + 1 / trials_b))
+    return (pa - pb) / se
+
+
+def proportions_differ(successes_a: int, trials_a: int,
+                       successes_b: int, trials_b: int,
+                       z: float = Z95) -> bool:
+    """True when the two proportions differ at the given z level."""
+    return abs(two_proportion_z(successes_a, trials_a,
+                                successes_b, trials_b)) > z
+
+
+def manifestation_interval(row) -> Proportion:
+    """Wilson interval for a CampaignRow's manifestation share."""
+    manifested = row.fsv + row.crash_known + row.hang_unknown
+    return wilson(manifested, row.denominator)
+
+
+def activation_interval(row) -> Tuple[Proportion, bool]:
+    """Wilson interval for activation; second element False for N/A."""
+    if row.activated is None:
+        return wilson(0, 0), False
+    return wilson(row.activated, row.injected), True

@@ -1,0 +1,123 @@
+"""Table 5 / Table 6 builders: activation and failure distribution.
+
+Percentage conventions follow the paper exactly: the *Error Activated*
+column is relative to all injected errors; every other percentage is
+relative to *activated* errors (register campaigns, whose activation is
+unobservable, report percentages relative to injected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.injection.outcomes import (
+    CampaignKind, InjectionResult, Outcome,
+)
+
+_ROW_ORDER = (CampaignKind.STACK, CampaignKind.REGISTER,
+              CampaignKind.DATA, CampaignKind.CODE)
+
+_ROW_LABELS = {
+    CampaignKind.STACK: "Stack",
+    CampaignKind.REGISTER: "System Registers",
+    CampaignKind.DATA: "Data",
+    CampaignKind.CODE: "Code",
+}
+
+
+@dataclass
+class CampaignRow:
+    """One row of Table 5 / Table 6."""
+
+    kind: CampaignKind
+    injected: int
+    activated: Optional[int]             # None = N/A (registers)
+    not_manifested: int
+    fsv: int
+    crash_known: int
+    hang_unknown: int
+
+    @property
+    def label(self) -> str:
+        return _ROW_LABELS[self.kind]
+
+    @property
+    def denominator(self) -> int:
+        """Base for the distribution percentages (paper convention)."""
+        if self.activated is None:
+            return self.injected
+        return self.activated
+
+    def pct(self, count: int) -> float:
+        return 100.0 * count / self.denominator if self.denominator else 0.0
+
+    @property
+    def activation_pct(self) -> Optional[float]:
+        if self.activated is None or self.injected == 0:
+            return None
+        return 100.0 * self.activated / self.injected
+
+    @property
+    def manifested_pct(self) -> float:
+        """Share of activated errors with a visible effect."""
+        manifested = self.fsv + self.crash_known + self.hang_unknown
+        return self.pct(manifested)
+
+
+def build_row(kind: CampaignKind,
+              results: Sequence[InjectionResult]) -> CampaignRow:
+    injected = len(results)
+    if kind is CampaignKind.REGISTER:
+        activated: Optional[int] = None
+    else:
+        activated = sum(1 for result in results
+                        if result.outcome is not Outcome.NOT_ACTIVATED)
+    not_manifested = sum(1 for result in results
+                         if result.outcome is Outcome.NOT_MANIFESTED)
+    fsv = sum(1 for result in results
+              if result.outcome is Outcome.FAIL_SILENCE_VIOLATION)
+    crash_known = sum(1 for result in results
+                      if result.outcome is Outcome.CRASH_KNOWN)
+    hang_unknown = sum(1 for result in results
+                       if result.outcome in (Outcome.HANG,
+                                             Outcome.CRASH_UNKNOWN))
+    return CampaignRow(kind=kind, injected=injected, activated=activated,
+                       not_manifested=not_manifested, fsv=fsv,
+                       crash_known=crash_known,
+                       hang_unknown=hang_unknown)
+
+
+def build_table(results_by_kind: Dict[CampaignKind,
+                                      Sequence[InjectionResult]]
+                ) -> List[CampaignRow]:
+    """Rows in the paper's order (stack, registers, data, code)."""
+    rows: List[CampaignRow] = []
+    for kind in _ROW_ORDER:
+        if kind in results_by_kind:
+            rows.append(build_row(kind, results_by_kind[kind]))
+    return rows
+
+
+def render_table(rows: Iterable[CampaignRow], arch_label: str) -> str:
+    """Text rendering in the paper's Table 5/6 layout."""
+    header = (f"{'Campaign':<18} {'Injected':>8} {'Activated':>14} "
+              f"{'NotManif':>14} {'FSV':>11} {'KnownCrash':>14} "
+              f"{'Hang/Unk':>13}")
+    lines = [f"--- Error Activation and Failure Distribution "
+             f"({arch_label}) ---", header]
+    total = 0
+    for row in rows:
+        total += row.injected
+        if row.activated is None:
+            activated = "N/A"
+        else:
+            activated = f"{row.activated}({row.activation_pct:.1f}%)"
+        lines.append(
+            f"{row.label:<18} {row.injected:>8} {activated:>14} "
+            f"{row.not_manifested:>7}({row.pct(row.not_manifested):4.1f}%)"
+            f" {row.fsv:>4}({row.pct(row.fsv):4.1f}%)"
+            f" {row.crash_known:>7}({row.pct(row.crash_known):4.1f}%)"
+            f" {row.hang_unknown:>6}({row.pct(row.hang_unknown):4.1f}%)")
+    lines.append(f"{'Total':<18} {total:>8}")
+    return "\n".join(lines)

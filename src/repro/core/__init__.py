@@ -1,0 +1,26 @@
+"""Public API: configure and run the paper's comparative study.
+
+Typical use::
+
+    from repro.core import Study, StudyConfig
+
+    study = Study(StudyConfig(seed=7, scale=0.02))
+    study.run()
+    print(study.render_table("x86"))         # paper Table 5
+    print(study.render_table("ppc"))         # paper Table 6
+    print(study.render_figure(6))            # stack crash causes
+    print(study.render_latency_figure())     # Figure 16 A-D
+
+Single campaigns::
+
+    from repro.core import run_campaign, CampaignKind
+    result = run_campaign("ppc", CampaignKind.CODE, count=200)
+"""
+
+from repro.core.config import StudyConfig, EXPERIMENT_SETUP
+from repro.core.study import Study
+from repro.injection.campaign import run_campaign
+from repro.injection.outcomes import CampaignKind
+
+__all__ = ["Study", "StudyConfig", "EXPERIMENT_SETUP",
+           "run_campaign", "CampaignKind"]

@@ -1,0 +1,71 @@
+"""Study configuration and the paper's experiment-setup constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.injection.outcomes import CampaignKind
+
+#: Paper Table 1: Experiment Setup Summary.
+EXPERIMENT_SETUP = {
+    "x86": {
+        "processor": "Intel Pentium 4",
+        "cpu_clock_ghz": 1.5,
+        "memory_mb": 256,
+        "distribution": "RedHat 9.0",
+        "linux_kernel": "2.4.22",
+        "compiler": "GCC 3.2.2",
+        "machines": 3,
+    },
+    "ppc": {
+        "processor": "Motorola MPC 7455",
+        "cpu_clock_ghz": 1.0,
+        "memory_mb": 256,
+        "distribution": "YellowDog 3.0",
+        "linux_kernel": "2.4.22",
+        "compiler": "GCC 3.2.2",
+        "machines": 2,
+    },
+}
+
+#: Paper Tables 5/6: injections per campaign on each platform.
+PAPER_CAMPAIGN_SIZES: Dict[str, Dict[CampaignKind, int]] = {
+    "x86": {
+        CampaignKind.STACK: 10_143,
+        CampaignKind.REGISTER: 3_866,
+        CampaignKind.DATA: 46_000,
+        CampaignKind.CODE: 1_790,
+    },
+    "ppc": {
+        CampaignKind.STACK: 3_017,
+        CampaignKind.REGISTER: 3_967,
+        CampaignKind.DATA: 46_000,
+        CampaignKind.CODE: 2_188,
+    },
+}
+
+
+@dataclass
+class StudyConfig:
+    """Configuration for a full two-platform study.
+
+    ``scale`` scales the paper's campaign sizes (1.0 = the full
+    115,000+ injections; the default 0.02 runs in minutes on a laptop
+    while keeping the distribution shapes stable).  ``overrides`` pins
+    exact campaign sizes when given.
+    """
+
+    seed: int = 0
+    scale: float = 0.02
+    ops: int = 48
+    dump_loss_probability: float = 0.08
+    min_campaign: int = 40
+    overrides: Dict[str, Dict[CampaignKind, int]] = field(
+        default_factory=dict)
+
+    def campaign_count(self, arch: str, kind: CampaignKind) -> int:
+        if arch in self.overrides and kind in self.overrides[arch]:
+            return self.overrides[arch][kind]
+        paper = PAPER_CAMPAIGN_SIZES[arch][kind]
+        return max(self.min_campaign, int(round(paper * self.scale)))

@@ -1,0 +1,181 @@
+"""Campaign controller (step 3 of the paper's Figure 2, plus the loop).
+
+A campaign pre-generates its targets, screens the ones the clean-run
+probe proves can never activate (no reboot needed for those — exactly
+the paper's "Error Not Activated: proceed to the next injection without
+rebooting"), and fully simulates the rest, rebooting (forking a fresh
+machine) between experiments.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.injection.injector import InjectionRun, RunSpec
+from repro.injection.outcomes import (
+    CampaignKind, InjectionResult, Outcome,
+)
+from repro.injection.targets import (
+    CodeTarget, DataTarget, RegisterTarget, StackTarget, TargetGenerator,
+)
+from repro.machine.machine import KSTACK_SIZE, Machine, MachineConfig
+from repro.workload.driver import UnixBenchDriver
+from repro.workload.probe import CleanRunProbe, probe_clean_run
+from repro.workload.profiler import FunctionProfile, profile_kernel
+
+
+@dataclass
+class CampaignConfig:
+    arch: str                            # "x86" | "ppc"
+    kind: CampaignKind
+    count: int                           # number of injections
+    seed: int = 0
+    ops: int = 48                        # monitored workload window
+    dump_loss_probability: float = 0.08
+    profile_coverage: float = 0.95
+
+
+@dataclass
+class CampaignResult:
+    config: CampaignConfig
+    results: List[InjectionResult] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        return len(self.results)
+
+    def count_outcome(self, outcome: Outcome) -> int:
+        return sum(1 for result in self.results
+                   if result.outcome is outcome)
+
+    @property
+    def activated(self) -> int:
+        return sum(1 for result in self.results
+                   if result.outcome is not Outcome.NOT_ACTIVATED)
+
+
+class CampaignContext:
+    """Shared per-(arch, seed, ops) expensive state.
+
+    One boot + workload setup, one clean-run probe, one kernel profile —
+    then every injection forks from the prepared machine.
+    """
+
+    _cache: Dict[tuple, "CampaignContext"] = {}
+
+    def __init__(self, arch: str, seed: int, ops: int):
+        self.arch = arch
+        self.seed = seed
+        self.ops = ops
+        self.base_machine = Machine(
+            arch, config=MachineConfig(seed=seed))
+        self.base_machine.boot()
+        base_driver = UnixBenchDriver(self.base_machine, seed=seed)
+        base_driver.setup()
+        self.base_programs = base_driver.programs
+        self.probe: CleanRunProbe = probe_clean_run(arch, seed=seed,
+                                                    ops=ops)
+        self.profile: FunctionProfile = profile_kernel(arch, seed=seed,
+                                                       ops=ops)
+        if self.base_machine.cpu.instret != self.probe.boot_instret:
+            raise RuntimeError(
+                "clean-run probe diverged from the base machine: "
+                f"{self.base_machine.cpu.instret} != "
+                f"{self.probe.boot_instret}")
+
+    @classmethod
+    def get(cls, arch: str, seed: int = 0, ops: int = 48
+            ) -> "CampaignContext":
+        key = (arch, seed, ops)
+        if key not in cls._cache:
+            cls._cache[key] = cls(arch, seed, ops)
+        return cls._cache[key]
+
+    @property
+    def run_window(self) -> tuple:
+        return (self.probe.boot_instret, self.probe.total_instret)
+
+
+class Campaign:
+    """One injection campaign (one row of Table 5 / Table 6)."""
+
+    def __init__(self, config: CampaignConfig,
+                 context: Optional[CampaignContext] = None):
+        self.config = config
+        self.context = context if context is not None else \
+            CampaignContext.get(config.arch, config.seed, config.ops)
+
+    # -- target generation -----------------------------------------------------
+
+    def generate_targets(self) -> list:
+        context = self.context
+        generator = TargetGenerator(context.base_machine.image,
+                                    profile=context.profile,
+                                    seed=self.config.seed ^ 0xBADC0DE)
+        window = context.run_window
+        kind = self.config.kind
+        if kind is CampaignKind.CODE:
+            return generator.code_targets(self.config.count)
+        if kind is CampaignKind.STACK:
+            machine = context.base_machine
+            allocations = {pid: (task.stack_base,
+                                 task.stack_base + KSTACK_SIZE)
+                           for pid, task in machine.tasks.items()}
+            # the paper injects into the stack of a randomly chosen
+            # kernel process: sample the measured *runtime* stack
+            ranges = context.probe.stack_runtime_ranges(allocations)
+            return generator.stack_targets(self.config.count,
+                                           list(machine.tasks),
+                                           ranges, window)
+        if kind is CampaignKind.DATA:
+            return generator.data_targets(self.config.count, window)
+        return generator.register_targets(self.config.count,
+                                          self.config.arch, window)
+
+    # -- screening ---------------------------------------------------------------
+
+    def _screen_not_activated(self, target) -> bool:
+        """True when the clean-run probe proves no activation."""
+        probe = self.context.probe
+        kind = self.config.kind
+        if kind is CampaignKind.CODE:
+            return not probe.pc_executed(target.addr)
+        if kind in (CampaignKind.STACK, CampaignKind.DATA):
+            return probe.first_access_after(target.at_instret,
+                                            target.addr) is None
+        return False                      # registers: no screening
+
+    # -- the loop -----------------------------------------------------------------
+
+    def run(self, progress=None) -> CampaignResult:
+        config = self.config
+        out = CampaignResult(config=config)
+        targets = self.generate_targets()
+        for index, target in enumerate(targets):
+            if self._screen_not_activated(target):
+                out.results.append(InjectionResult(
+                    arch=config.arch, kind=config.kind, target=target,
+                    outcome=Outcome.NOT_ACTIVATED, screened=True))
+            else:
+                spec = RunSpec(
+                    base_machine=self.context.base_machine,
+                    base_programs=self.context.base_programs,
+                    kind=config.kind,
+                    target=target,
+                    ops=config.ops,
+                    seed=config.seed + index * 7919,
+                    dump_loss_probability=config.dump_loss_probability)
+                out.results.append(InjectionRun(spec).execute())
+            if progress is not None:
+                progress(index + 1, len(targets))
+        return out
+
+
+def run_campaign(arch: str, kind: CampaignKind, count: int,
+                 seed: int = 0, ops: int = 48) -> CampaignResult:
+    """One-call convenience wrapper."""
+    config = CampaignConfig(arch=arch, kind=kind, count=count, seed=seed,
+                            ops=ops)
+    return Campaign(config).run()

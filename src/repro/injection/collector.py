@@ -1,0 +1,71 @@
+"""Remote crash-data collector (control-host side).
+
+Receives the crash packets the kernel-embedded handler ships over the
+best-effort channel, decodes them, and keeps the records the off-line
+crash-cause analysis consumes.  Packets that never arrive are exactly
+the paper's unknown crashes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.machine.nic import Packet, decode_crash_packet
+
+
+@dataclass
+class CrashRecord:
+    seq: int
+    arch: str
+    vector: int
+    pc: int
+    address: int
+    cycles: int
+    frame_pointers: List[int]
+    detail: str
+
+
+class CrashDataCollector:
+    """The paper's remote crash data collector."""
+
+    def __init__(self) -> None:
+        self.records: List[CrashRecord] = []
+        self._seen: Dict[int, int] = {}
+        self.malformed = 0
+
+    def receive(self, packet: Packet) -> None:
+        """NIC delivery callback."""
+        try:
+            decoded = decode_crash_packet(packet.payload)
+        except (ValueError, struct.error):
+            self.malformed += 1
+            return
+        record = CrashRecord(
+            seq=packet.seq,
+            arch=decoded["arch"],
+            vector=decoded["vector"],
+            pc=decoded["pc"],
+            address=decoded["address"],
+            cycles=decoded["cycles"],
+            frame_pointers=decoded["frame_pointers"],
+            detail=decoded["detail"],
+        )
+        # dedup retransmissions by sequence number
+        if packet.seq in self._seen:
+            return
+        self._seen[packet.seq] = len(self.records)
+        self.records.append(record)
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    def last(self) -> Optional[CrashRecord]:
+        return self.records[-1] if self.records else None
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._seen.clear()
+        self.malformed = 0

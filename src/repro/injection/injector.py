@@ -1,0 +1,206 @@
+"""Single-injection executor (step 2 of the paper's Figure 2).
+
+Each injection experiment forks a pristine booted machine, installs the
+error according to its target class, runs the monitored workload
+window, and classifies the outcome:
+
+* **code** — an instruction breakpoint at the target address; when the
+  fetch hits, one bit of the instruction's encoding is flipped (the
+  error then persists for the rest of the run, paper Section 3.5);
+* **stack/data** — at the injection instant the bit is flipped in
+  memory and a data watchpoint armed; the first access activates the
+  error (a write-first access re-injects the error into the fresh
+  value, per Section 3.3);
+* **register** — at the injection instant the register is flipped
+  through the register-semantics layer (activation cannot be observed,
+  as the paper notes).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.classify import classify_crash
+from repro.injection.collector import CrashDataCollector
+from repro.injection.outcomes import (
+    CampaignKind, InjectionResult, Outcome,
+)
+from repro.injection.targets import (
+    CodeTarget, DataTarget, RegisterTarget, StackTarget,
+)
+from repro.isa.bits import bit_flip
+from repro.machine.events import HangDetected, KernelCrash
+from repro.machine.machine import Machine, MachineConfig
+from repro.machine.register_semantics import (
+    apply_ppc_msr_flip, apply_x86_register_flip,
+)
+from repro.workload.driver import UnixBenchDriver
+from repro.workload.programs import BenchProgram
+
+
+@dataclass
+class RunSpec:
+    """Everything one injection run needs."""
+
+    base_machine: Machine
+    base_programs: Dict[int, BenchProgram]
+    kind: CampaignKind
+    target: object
+    ops: int
+    seed: int
+    dump_loss_probability: float = 0.08
+
+
+class InjectionRun:
+    """Executes one injection experiment to an :class:`InjectionResult`."""
+
+    def __init__(self, spec: RunSpec):
+        self.spec = spec
+        self.collector = CrashDataCollector()
+        config = MachineConfig(
+            seed=spec.seed,
+            dump_loss_probability=spec.dump_loss_probability)
+        self.machine = spec.base_machine.fork(
+            config=config, collector=self.collector.receive)
+        self.driver = UnixBenchDriver(
+            self.machine, seed=spec.seed,
+            programs=copy.deepcopy(spec.base_programs))
+        self.activated = False
+        self.activation_cycles: Optional[int] = None
+
+    # -- installation ---------------------------------------------------------
+
+    def _install(self) -> None:
+        kind = self.spec.kind
+        if kind is CampaignKind.CODE:
+            self._install_code(self.spec.target)
+        elif kind in (CampaignKind.STACK, CampaignKind.DATA):
+            self._install_memory(self.spec.target)
+        else:
+            self._install_register(self.spec.target)
+
+    def _install_code(self, target: CodeTarget) -> None:
+        machine = self.machine
+        debug = machine.cpu.debug
+        debug.set_instruction_breakpoint(target.addr)
+
+        def flip() -> None:
+            byte_offset = target.bit // 8
+            machine.flip_memory_bit(target.addr + byte_offset,
+                                    target.bit % 8)
+
+        def on_hit(hit) -> None:
+            self.activated = True
+            self.activation_cycles = machine.cpu.cycles
+            if machine.arch == "x86":
+                # DR breakpoints report *before* execution: the flipped
+                # bytes are what executes right now
+                flip()
+            else:
+                # the G4's IABR reports on instruction *completion*:
+                # this execution uses the original bytes, and the
+                # corrupted instruction takes effect at the next fetch
+                # of that address — often the function's next
+                # invocation, which is what stretches G4 code-error
+                # latencies (paper Figure 16 C)
+                machine.schedule_action(machine.cpu.instret + 1, flip)
+
+        debug.on_breakpoint = on_hit
+
+    def _install_memory(self, target) -> None:
+        machine = self.machine
+        debug = machine.cpu.debug
+
+        def on_access(hit) -> None:
+            if self.activated:
+                return
+            self.activated = True
+            self.activation_cycles = machine.cpu.cycles
+            if hit.kind.value == "write":
+                # the write clobbered the error: re-inject into the
+                # fresh value (paper Section 3.3)
+                machine.flip_memory_bit(target.addr, target.bit)
+            debug.clear_watchpoint(hit.watchpoint)
+
+        def inject() -> None:
+            machine.flip_memory_bit(target.addr, target.bit)
+            debug.set_watchpoint(target.addr, length=1)
+            debug.on_watchpoint = on_access
+
+        machine.schedule_action(target.at_instret, inject)
+
+    def _install_register(self, target: RegisterTarget) -> None:
+        machine = self.machine
+        cpu = machine.cpu
+
+        def inject() -> None:
+            # activation is not observable for system registers; the
+            # paper measures latency from the injection instant
+            self.activation_cycles = cpu.cycles
+            if machine.arch == "x86":
+                value = getattr(cpu, target.attr)
+                apply_x86_register_flip(
+                    machine, target.attr, bit_flip(value, target.bit))
+            elif target.spr == -1:
+                apply_ppc_msr_flip(machine,
+                                   bit_flip(cpu.msr, target.bit))
+            else:
+                cpu.set_spr(target.spr,
+                            bit_flip(cpu.get_spr(target.spr),
+                                     target.bit))
+
+        machine.schedule_action(target.at_instret, inject)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self) -> InjectionResult:
+        spec = self.spec
+        self._install()
+        base = dict(arch=self.machine.arch, kind=spec.kind,
+                    target=spec.target)
+        try:
+            result = self.driver.run(spec.ops)
+        except KernelCrash as crash:
+            report = crash.report
+            known = report.dump_delivered and not report.dump_failed
+            cause = classify_crash(report)
+            activation = self.activation_cycles
+            if activation is None:
+                activation = report.cycles_at_crash
+            return InjectionResult(
+                outcome=Outcome.CRASH_KNOWN if known
+                else Outcome.CRASH_UNKNOWN,
+                cause=cause if known else None,
+                activation_cycles=activation,
+                crash_cycles=report.cycles_at_crash,
+                detail=report.detail,
+                function=report.function,
+                subsystem=report.subsystem,
+                **base)
+        except HangDetected as hang:
+            return InjectionResult(
+                outcome=Outcome.HANG,
+                activation_cycles=self.activation_cycles,
+                detail=str(hang),
+                **base)
+        if spec.kind is CampaignKind.REGISTER:
+            # activation unobservable: completing cleanly means the
+            # flip was absorbed
+            outcome = Outcome.FAIL_SILENCE_VIOLATION \
+                if result.fail_silence_violated else Outcome.NOT_MANIFESTED
+        elif not self.activated:
+            outcome = Outcome.NOT_ACTIVATED
+        elif result.fail_silence_violated:
+            outcome = Outcome.FAIL_SILENCE_VIOLATION
+        else:
+            outcome = Outcome.NOT_MANIFESTED
+        return InjectionResult(
+            outcome=outcome,
+            activation_cycles=self.activation_cycles,
+            detail="; ".join(
+                f"{event.program}#{event.op_index}: "
+                f"expected {event.expected}, got {event.actual}"
+                for event in result.fsv_events[:3]),
+            **base)

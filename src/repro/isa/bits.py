@@ -1,0 +1,76 @@
+"""Bit-level helpers shared by both simulated architectures.
+
+All arithmetic in the simulators is performed on Python ints and then
+normalized to 32-bit two's-complement values with these helpers.  The
+single-bit-flip primitive used by every injector also lives here so that
+the fault model has exactly one implementation.
+"""
+
+from __future__ import annotations
+
+MASK8 = 0xFF
+MASK16 = 0xFFFF
+MASK32 = 0xFFFFFFFF
+
+_WIDTH_MASKS = {1: MASK8, 2: MASK16, 4: MASK32}
+
+
+def mask_for_width(width: int) -> int:
+    """Return the value mask for an access *width* in bytes (1, 2 or 4)."""
+    try:
+        return _WIDTH_MASKS[width]
+    except KeyError:
+        raise ValueError(f"unsupported access width: {width}") from None
+
+
+def bit_flip(value: int, bit: int, width_bits: int = 32) -> int:
+    """Flip a single *bit* (0 = least significant) of *value*.
+
+    This is the canonical single-bit transient error model from the
+    paper's Section 3.5 (90-99% of device-level transients behave as
+    logic-level single-bit errors).
+    """
+    if not 0 <= bit < width_bits:
+        raise ValueError(f"bit {bit} out of range for {width_bits}-bit value")
+    return (value ^ (1 << bit)) & ((1 << width_bits) - 1)
+
+
+def sign_extend(value: int, from_bits: int) -> int:
+    """Sign-extend *value* (treated as *from_bits* wide) to 32 bits."""
+    value &= (1 << from_bits) - 1
+    sign = 1 << (from_bits - 1)
+    if value & sign:
+        value |= MASK32 ^ ((1 << from_bits) - 1)
+    return value & MASK32
+
+
+def to_signed(value: int, bits: int = 32) -> int:
+    """Interpret an unsigned *value* as a two's-complement signed int."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def to_unsigned(value: int, bits: int = 32) -> int:
+    """Normalize a possibly-negative Python int to *bits*-wide unsigned."""
+    return value & ((1 << bits) - 1)
+
+
+def rotl32(value: int, amount: int) -> int:
+    """Rotate a 32-bit *value* left by *amount* bits."""
+    amount &= 31
+    value &= MASK32
+    return ((value << amount) | (value >> (32 - amount))) & MASK32
+
+
+def extract_bits(value: int, hi: int, lo: int) -> int:
+    """Extract bits *hi*..*lo* (inclusive, LSB-0 numbering) of *value*."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range {hi}..{lo}")
+    return (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def byte_of(value: int, index: int) -> int:
+    """Return byte *index* (0 = least significant) of a 32-bit value."""
+    return (value >> (8 * index)) & MASK8

@@ -1,0 +1,72 @@
+"""Hardware fault taxonomy shared by both simulated processors.
+
+A :class:`Fault` is raised (as a Python exception) by a CPU core when an
+instruction cannot complete: bad memory access, undefined encoding,
+privilege violation, and so on.  The machine layer catches it, charges
+the hardware exception-handling cycles (stage 2 of the paper's
+cycles-to-crash model, Figure 3) and hands it to the simulated kernel's
+software exception-handler model (stage 3).
+
+Architecture-specific fault *vectors* live with their CPUs
+(:mod:`repro.x86.exceptions`, :mod:`repro.ppc.exceptions`); this module
+only defines the carrier type and the memory-access fault reasons both
+share.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class AccessKind(enum.Enum):
+    """What the CPU was doing when a memory fault occurred."""
+
+    READ = "read"
+    WRITE = "write"
+    FETCH = "fetch"
+
+
+class Fault(Exception):
+    """A hardware exception raised by a CPU core.
+
+    Parameters
+    ----------
+    vector:
+        Architecture-specific vector identifier (a member of the
+        architecture's vector enum; stored untyped here to keep this
+        module architecture-neutral).
+    address:
+        The faulting memory address, when one exists.
+    detail:
+        Free-form human-readable context used in crash dumps.
+    """
+
+    def __init__(self, vector: object, address: Optional[int] = None,
+                 detail: str = ""):
+        self.vector = vector
+        self.address = address
+        self.detail = detail
+        super().__init__(f"{vector}: addr={address!r} {detail}".strip())
+
+
+class MemoryFault(Fault):
+    """A fault produced by the memory/permission layer.
+
+    The address-space layer cannot know the architecture's vector
+    numbering, so it raises this neutral fault; each CPU core translates
+    it into the proper architectural exception (page fault vs DSI/ISI,
+    general protection vs bus error, ...).
+    """
+
+    class Reason(enum.Enum):
+        UNMAPPED = "unmapped"
+        PROTECTION = "protection"
+        UNALIGNED = "unaligned"
+        NO_TRANSLATION = "no-translation"
+
+    def __init__(self, reason: "MemoryFault.Reason", address: int,
+                 kind: AccessKind, detail: str = ""):
+        self.reason = reason
+        self.kind = kind
+        super().__init__(vector=reason, address=address, detail=detail)

@@ -1,0 +1,262 @@
+"""Sparse paged physical memory and the permission-checked address space.
+
+The machines in this reproduction use a 32-bit flat address space laid
+out like a Linux 2.4 kernel (text, data, per-task kernel stacks).  The
+physical memory is a sparse dictionary of 4 KiB pages so that a 4 GiB
+address space costs only what is actually touched.
+
+Permissions are enforced by :class:`AddressSpace`: regions carry
+read/write/execute rights, and any access outside a mapped region — or
+violating the rights — raises a neutral :class:`~repro.isa.faults.MemoryFault`
+that the CPU core translates into its architectural exception (page
+fault / #GP on the P4-like core; DSI / ISI / bus error on the G4-like
+core).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.bits import MASK32
+from repro.isa.faults import AccessKind, MemoryFault
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+class MemoryError_(Exception):
+    """Raised for host-level misuse of the memory model (not a fault)."""
+
+
+class PhysicalMemory:
+    """Byte-addressable sparse memory backed by 4 KiB pages.
+
+    All multi-byte accessors are endianness-explicit because the two
+    simulated processors disagree: the P4-like core is little-endian and
+    the G4-like core is big-endian.
+    """
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    # -- raw byte access ------------------------------------------------
+
+    def _page(self, page_index: int) -> bytearray:
+        page = self._pages.get(page_index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_index] = page
+        return page
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read *size* raw bytes starting at *addr* (may span pages)."""
+        addr &= MASK32
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            page_index = (addr + pos) >> PAGE_SHIFT
+            offset = (addr + pos) & (PAGE_SIZE - 1)
+            chunk = min(size - pos, PAGE_SIZE - offset)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[pos:pos + chunk] = page[offset:offset + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write raw *data* starting at *addr* (may span pages)."""
+        addr &= MASK32
+        pos = 0
+        size = len(data)
+        while pos < size:
+            page_index = (addr + pos) >> PAGE_SHIFT
+            offset = (addr + pos) & (PAGE_SIZE - 1)
+            chunk = min(size - pos, PAGE_SIZE - offset)
+            self._page(page_index)[offset:offset + chunk] = \
+                data[pos:pos + chunk]
+            pos += chunk
+
+    # -- width accessors -------------------------------------------------
+
+    def read_u8(self, addr: int) -> int:
+        page = self._pages.get((addr & MASK32) >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        return page[addr & (PAGE_SIZE - 1)]
+
+    def write_u8(self, addr: int, value: int) -> None:
+        self._page((addr & MASK32) >> PAGE_SHIFT)[addr & (PAGE_SIZE - 1)] = \
+            value & 0xFF
+
+    def read_u16(self, addr: int, little_endian: bool) -> int:
+        addr &= MASK32
+        offset = addr & (PAGE_SIZE - 1)
+        if offset <= PAGE_SIZE - 2:          # single-page fast path
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            if little_endian:
+                return page[offset] | (page[offset + 1] << 8)
+            return (page[offset] << 8) | page[offset + 1]
+        raw = self.read(addr, 2)
+        return int.from_bytes(raw, "little" if little_endian else "big")
+
+    def write_u16(self, addr: int, value: int, little_endian: bool) -> None:
+        addr &= MASK32
+        offset = addr & (PAGE_SIZE - 1)
+        if offset <= PAGE_SIZE - 2:
+            page = self._page(addr >> PAGE_SHIFT)
+            if little_endian:
+                page[offset] = value & 0xFF
+                page[offset + 1] = (value >> 8) & 0xFF
+            else:
+                page[offset] = (value >> 8) & 0xFF
+                page[offset + 1] = value & 0xFF
+            return
+        self.write(addr, (value & 0xFFFF).to_bytes(
+            2, "little" if little_endian else "big"))
+
+    def read_u32(self, addr: int, little_endian: bool) -> int:
+        addr &= MASK32
+        offset = addr & (PAGE_SIZE - 1)
+        if offset <= PAGE_SIZE - 4:          # single-page fast path
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(
+                page[offset:offset + 4],
+                "little" if little_endian else "big")
+        raw = self.read(addr, 4)
+        return int.from_bytes(raw, "little" if little_endian else "big")
+
+    def write_u32(self, addr: int, value: int, little_endian: bool) -> None:
+        addr &= MASK32
+        offset = addr & (PAGE_SIZE - 1)
+        if offset <= PAGE_SIZE - 4:
+            page = self._page(addr >> PAGE_SHIFT)
+            page[offset:offset + 4] = (value & MASK32).to_bytes(
+                4, "little" if little_endian else "big")
+            return
+        self.write(addr, (value & MASK32).to_bytes(
+            4, "little" if little_endian else "big"))
+
+    # -- diagnostics -----------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Bytes of host memory used by touched pages (for tests)."""
+        return len(self._pages) * PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Region:
+    """A mapped range of the address space with access rights.
+
+    ``perm`` is a subset of ``"rwx"``.  ``name`` identifies the region in
+    crash dumps (e.g. ``"ktext"``, ``"kdata"``, ``"kstack:pid=4"``).
+    """
+
+    start: int
+    size: int
+    perm: str
+    name: str
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+_KIND_TO_PERM = {
+    AccessKind.READ: "r",
+    AccessKind.WRITE: "w",
+    AccessKind.FETCH: "x",
+}
+
+
+@dataclass
+class AddressSpace:
+    """Permission-checked view of a :class:`PhysicalMemory`.
+
+    Regions may be added and removed (task stacks come and go); lookup is
+    a binary search over region start addresses.  When ``translation_on``
+    is False (e.g. a register error cleared the G4's MSR[DR] bit), every
+    kernel-high address loses its mapping and faults with
+    ``Reason.NO_TRANSLATION`` — the machine check scenario from the
+    paper's Section 5.2.
+    """
+
+    memory: PhysicalMemory
+    translation_on: bool = True
+    translation_base: int = 0x80000000
+    _starts: List[int] = field(default_factory=list)
+    _regions: List[Region] = field(default_factory=list)
+    #: most-recently matched region (accesses are highly local)
+    _last: Optional[Region] = field(default=None, repr=False)
+
+    def map_region(self, region: Region) -> None:
+        index = bisect.bisect_left(self._starts, region.start)
+        if index < len(self._regions) and \
+                self._regions[index].start < region.end and \
+                region.start < self._regions[index].end:
+            raise MemoryError_(
+                f"region {region.name} overlaps {self._regions[index].name}")
+        if index > 0 and self._regions[index - 1].end > region.start:
+            raise MemoryError_(
+                f"region {region.name} overlaps "
+                f"{self._regions[index - 1].name}")
+        self._starts.insert(index, region.start)
+        self._regions.insert(index, region)
+        self._last = None
+
+    def unmap_region(self, name: str) -> None:
+        for index, region in enumerate(self._regions):
+            if region.name == name:
+                del self._regions[index]
+                del self._starts[index]
+                self._last = None
+                return
+        raise MemoryError_(f"no region named {name}")
+
+    def find_region(self, addr: int) -> Optional[Region]:
+        addr &= MASK32
+        index = bisect.bisect_right(self._starts, addr) - 1
+        if index >= 0:
+            region = self._regions[index]
+            if region.contains(addr):
+                return region
+        return None
+
+    def region_by_name(self, name: str) -> Optional[Region]:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        return None
+
+    @property
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    # -- the permission check used by CPU cores ---------------------------
+
+    def check(self, addr: int, size: int, kind: AccessKind) -> None:
+        """Validate an access or raise a :class:`MemoryFault`."""
+        addr &= MASK32
+        if not self.translation_on and addr >= self.translation_base:
+            raise MemoryFault(MemoryFault.Reason.NO_TRANSLATION, addr, kind,
+                              "address translation disabled")
+        region = self._last
+        if region is None or not (region.start <= addr
+                                  and addr + size <= region.end):
+            region = self.find_region(addr)
+            if region is None or addr + size > region.end:
+                raise MemoryFault(MemoryFault.Reason.UNMAPPED, addr, kind,
+                                  "access to unmapped address")
+            self._last = region
+        if _KIND_TO_PERM[kind] not in region.perm:
+            raise MemoryFault(
+                MemoryFault.Reason.PROTECTION, addr, kind,
+                f"{kind.value} denied on {region.name} ({region.perm})")

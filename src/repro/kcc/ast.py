@@ -1,0 +1,241 @@
+"""AST node definitions for the kernel DSL.
+
+Nodes are plain dataclasses; semantic analysis (:mod:`repro.kcc.sema`)
+annotates them in place (symbol binding, expression types) so that both
+backends and the reference interpreter can consume the same tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# ---------------------------------------------------------------------------
+# types
+
+
+@dataclass(frozen=True)
+class Type:
+    """A DSL type: a scalar of 1/2/4 bytes, or a pointer.
+
+    ``pointee`` is a struct name for ``*Struct``, one of ``"u8"``,
+    ``"u16"``, ``"u32"`` for scalar pointers, or None for non-pointers.
+    """
+
+    width: int                  # scalar width in bytes (pointers: 4)
+    pointee: Optional[str] = None
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointee is not None
+
+    def __str__(self) -> str:
+        if self.is_pointer:
+            return f"*{self.pointee}"
+        return {1: "u8", 2: "u16", 4: "u32"}[self.width]
+
+
+U8 = Type(1)
+U16 = Type(2)
+U32 = Type(4)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+
+
+@dataclass
+class Expr:
+    line: int = 0
+    #: filled in by sema: the expression's static type
+    type: Type = U32
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Name(Expr):
+    name: str = ""
+    #: sema: "local", "param", "global", "const", "func"
+    kind: str = ""
+    #: sema: local/param index, or constant value for "const"
+    index: int = 0
+
+
+@dataclass
+class AddrOf(Expr):
+    name: str = ""              # global symbol or function name
+    kind: str = ""              # sema: "global" or "func"
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""                # "-", "!", "~"
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+    #: sema: True when this is a __builtin intrinsic
+    intrinsic: bool = False
+
+
+@dataclass
+class FieldAccess(Expr):
+    base: Expr = None           # must have pointer-to-struct type
+    field_name: str = ""
+    #: sema: resolved struct name
+    struct: str = ""
+
+
+@dataclass
+class Index(Expr):
+    name: str = ""              # global array name
+    index: Expr = None
+    #: sema: element type
+    elem: Type = U32
+    #: sema: True if array of structs (expression yields pointer)
+    struct_array: bool = False
+
+
+@dataclass
+class SizeOf(Expr):
+    struct: str = ""
+
+
+# ---------------------------------------------------------------------------
+# statements
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    var_type: Type = U32
+    init: Optional[Expr] = None
+    #: sema: local slot index
+    index: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None         # Name, FieldAccess, or Index
+    value: Expr = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+# ---------------------------------------------------------------------------
+# top-level items
+
+
+@dataclass
+class StructField:
+    name: str
+    field_type: Type
+    line: int
+
+
+@dataclass
+class StructDef:
+    name: str
+    fields: List[StructField]
+    line: int
+
+
+@dataclass
+class GlobalDef:
+    name: str
+    var_type: Type
+    count: int                  # 1 for scalars, >1 for arrays
+    init: List[int]             # initial values (may be shorter)
+    is_struct: bool             # struct-typed global (var_type.pointee!)
+    struct: str                 # struct name when is_struct
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    params: List[VarDecl]
+    return_type: Type
+    body: List[Stmt]
+    line: int = 0
+    #: sema: all local VarDecls in declaration order (excludes params)
+    locals: List[VarDecl] = field(default_factory=list)
+    #: sema: does the body contain any Call?
+    has_calls: bool = False
+
+
+@dataclass
+class Program:
+    structs: List[StructDef] = field(default_factory=list)
+    globals: List[GlobalDef] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+    consts: dict = field(default_factory=dict)
+
+    def struct_by_name(self, name: str) -> StructDef:
+        for struct in self.structs:
+            if struct.name == name:
+                return struct
+        raise KeyError(name)
+
+    def function_by_name(self, name: str) -> FuncDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    def global_by_name(self, name: str) -> GlobalDef:
+        for item in self.globals:
+            if item.name == name:
+                return item
+        raise KeyError(name)

@@ -1,0 +1,97 @@
+"""Tokenizer for the kernel DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset({
+    "struct", "global", "fn", "var", "if", "else", "while", "return",
+    "break", "continue", "const", "sizeof", "u8", "u16", "u32", "null",
+})
+
+# Multi-character operators first (longest match wins).
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", ":",
+)
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # "num", "name", "kw", "op", "eof"
+    text: str
+    value: int         # numeric value for "num" tokens
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn DSL source into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if ch == "/" and pos + 1 < length and source[pos + 1] == "/":
+            while pos < length and source[pos] != "\n":
+                pos += 1
+            continue
+        if ch == "/" and pos + 1 < length and source[pos + 1] == "*":
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < length and (source[pos].isdigit()
+                                        or source[pos] in "abcdefABCDEF"):
+                    pos += 1
+                text = source[start:pos]
+                value = int(text, 16)
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                text = source[start:pos]
+                value = int(text)
+            tokens.append(Token("num", text, value & 0xFFFFFFFF, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum()
+                                    or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "kw" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, 0, line))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, 0, line))
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", 0, line))
+    return tokens

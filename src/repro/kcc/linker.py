@@ -1,0 +1,208 @@
+"""Linker: lay out compiled functions and data into a kernel image.
+
+The image mimics a Linux 2.4 kernel mapping:
+
+* text at ``0xC0100000`` (read+execute; writes trap — the paper's
+  "writing to a read-only code segment" GP category on the P4);
+* data at ``0xC0300000`` (the section the data campaign samples);
+* per-task kernel stacks are mapped later by the machine layer.
+
+The image records per-function instruction maps (for the code-injection
+target generator and the profiler) and a reverse symbol index used by
+crash dumps to attribute a faulting address to a kernel function and
+subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kcc import ast
+from repro.kcc.backend_ppc import compile_function as compile_ppc
+from repro.kcc.backend_x86 import compile_function as compile_x86
+from repro.kcc.layout import (
+    GlobalInfo, StructLayout, build_data_image, compute_struct_layouts,
+    initialized_ranges, place_globals,
+)
+
+TEXT_BASE = 0xC0100000
+DATA_BASE = 0xC0300000
+HEAP_BASE = 0xC0400000
+
+
+class LinkError(Exception):
+    pass
+
+
+@dataclass
+class FunctionInfo:
+    name: str
+    addr: int
+    size: int
+    insn_addrs: List[int]
+    subsystem: str = ""
+
+
+@dataclass
+class KernelImage:
+    """A fully linked kernel for one architecture."""
+
+    arch: str                           # "x86" or "ppc"
+    program: ast.Program
+    text_base: int
+    text_bytes: bytes
+    data_base: int
+    data_bytes: bytes
+    functions: Dict[str, FunctionInfo]
+    globals: Dict[str, GlobalInfo]
+    struct_layouts: Dict[str, StructLayout]
+    init_data_ranges: List[range] = field(default_factory=list)
+    #: dynamically-allocated-pool section (outside .data; not a
+    #: data-injection target)
+    heap_base: int = HEAP_BASE
+    heap_bytes: bytes = b""
+
+    @property
+    def little_endian(self) -> bool:
+        return self.arch == "x86"
+
+    @property
+    def text_end(self) -> int:
+        return self.text_base + len(self.text_bytes)
+
+    @property
+    def data_end(self) -> int:
+        return self.data_base + len(self.data_bytes)
+
+    def symbol(self, name: str) -> int:
+        if name in self.functions:
+            return self.functions[name].addr
+        if name in self.globals:
+            return self.globals[name].addr
+        raise KeyError(name)
+
+    def function_at(self, addr: int) -> Optional[FunctionInfo]:
+        """Attribute an address to the function containing it."""
+        for info in self.functions.values():
+            if info.addr <= addr < info.addr + info.size:
+                return info
+        return None
+
+    def sizeof(self, struct: str) -> int:
+        return self.struct_layouts[struct].size
+
+    def field(self, struct: str, name: str):
+        return self.struct_layouts[struct].field(name)
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def build_image(program: ast.Program, arch: str,
+                text_base: int = TEXT_BASE,
+                data_base: int = DATA_BASE,
+                heap_base: int = HEAP_BASE,
+                heap_globals: "frozenset[str]" = frozenset(),
+                subsystem_of: Optional[Dict[str, str]] = None,
+                optimize: bool = True) -> KernelImage:
+    """Compile and link an analyzed *program* for *arch*.
+
+    ``subsystem_of`` maps function names to subsystem tags (``"mm"``,
+    ``"fs"``, ...) used by crash-cause attribution and the profiler.
+    ``heap_globals`` names pools placed outside the .data section.
+    ``optimize`` runs the constant-folding pass (GCC does; see
+    :mod:`repro.kcc.optimize`).
+    """
+    if arch not in ("x86", "ppc"):
+        raise LinkError(f"unknown architecture {arch!r}")
+    if optimize:
+        from repro.kcc.optimize import optimize_program
+        optimize_program(program)
+    little_endian = arch == "x86"
+    heap_names = frozenset(heap_globals)
+
+    layouts = compute_struct_layouts(program, arch)
+    globals_info = place_globals(program, arch, data_base, layouts,
+                                 heap_names=heap_names,
+                                 heap_base=heap_base)
+    data_names = frozenset(name for name in globals_info
+                           if name not in heap_names)
+    data_bytes = build_data_image(program, arch, data_base, globals_info,
+                                  little_endian, names=data_names)
+    heap_bytes = build_data_image(program, arch, heap_base, globals_info,
+                                  little_endian, names=heap_names) \
+        if heap_names else b""
+
+    compile_one = compile_x86 if arch == "x86" else compile_ppc
+    compiled = [compile_one(func, globals_info, layouts)
+                for func in program.functions]
+
+    # assign addresses
+    functions: Dict[str, FunctionInfo] = {}
+    cursor = text_base
+    placed: List[Tuple[int, object]] = []
+    for unit in compiled:
+        cursor = _align(cursor, 16)
+        functions[unit.name] = FunctionInfo(
+            name=unit.name, addr=cursor, size=len(unit.code),
+            insn_addrs=[cursor + off for off in unit.insn_offsets],
+            subsystem=(subsystem_of or {}).get(unit.name, ""))
+        placed.append((cursor, unit))
+        cursor += len(unit.code)
+
+    # resolve relocations
+    text = bytearray(cursor - text_base)
+    for addr, unit in placed:
+        code = bytearray(unit.code)
+        for reloc in unit.relocs:
+            target = functions.get(reloc.symbol)
+            if target is None:
+                info = globals_info.get(reloc.symbol)
+                if info is None:
+                    raise LinkError(
+                        f"{unit.name}: undefined symbol {reloc.symbol}")
+                value = info.addr
+            else:
+                value = target.addr
+            if reloc.kind == "rel32":           # x86 call/jmp
+                rel = value - (addr + reloc.offset + 4)
+                code[reloc.offset:reloc.offset + 4] = \
+                    (rel & 0xFFFFFFFF).to_bytes(4, "little")
+            elif reloc.kind == "abs32":
+                code[reloc.offset:reloc.offset + 4] = \
+                    value.to_bytes(4, "little")
+            elif reloc.kind == "rel24":         # ppc bl
+                rel = value - (addr + reloc.offset)
+                if not -(1 << 25) <= rel < (1 << 25):
+                    raise LinkError(f"bl out of range to {reloc.symbol}")
+                word = int.from_bytes(
+                    code[reloc.offset:reloc.offset + 4], "big")
+                word |= rel & 0x03FFFFFC
+                code[reloc.offset:reloc.offset + 4] = \
+                    word.to_bytes(4, "big")
+            elif reloc.kind == "hi16":          # ppc lis (paired w/ lo16)
+                word = int.from_bytes(
+                    code[reloc.offset:reloc.offset + 4], "big")
+                word = (word & 0xFFFF0000) | ((value >> 16) & 0xFFFF)
+                code[reloc.offset:reloc.offset + 4] = \
+                    word.to_bytes(4, "big")
+            elif reloc.kind == "lo16":
+                word = int.from_bytes(
+                    code[reloc.offset:reloc.offset + 4], "big")
+                word = (word & 0xFFFF0000) | (value & 0xFFFF)
+                code[reloc.offset:reloc.offset + 4] = \
+                    word.to_bytes(4, "big")
+            else:  # pragma: no cover
+                raise LinkError(f"unknown reloc kind {reloc.kind}")
+        offset = addr - text_base
+        text[offset:offset + len(code)] = code
+
+    return KernelImage(
+        arch=arch, program=program, text_base=text_base,
+        text_bytes=bytes(text), data_base=data_base,
+        data_bytes=data_bytes, functions=functions,
+        globals=globals_info, struct_layouts=layouts,
+        init_data_ranges=initialized_ranges(program, globals_info),
+        heap_base=heap_base, heap_bytes=heap_bytes)

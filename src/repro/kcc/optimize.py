@@ -1,0 +1,195 @@
+"""AST-level optimizations: constant folding and algebraic identities.
+
+GCC 3.2.2 folds constants even at -O0's codegen level; without this
+pass every ``i * BLOCK_SZ`` in the kernel DSL would materialize both
+operands at run time.  Folding happens *after* semantic analysis (the
+tree is annotated) and before code generation; the reference
+interpreter runs the same folded tree, so differential tests cover the
+pass automatically.
+
+All arithmetic here matches the language semantics: 32-bit unsigned
+with wraparound, unsigned division/shift.  Architecture-divergent
+cases (shift counts >= 32, division by zero) are left *unfolded* so
+run-time semantics stay per-architecture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kcc import ast
+
+MASK32 = 0xFFFFFFFF
+
+
+def _fold_binary_consts(op: str, a: int, b: int) -> Optional[int]:
+    if op == "+":
+        return (a + b) & MASK32
+    if op == "-":
+        return (a - b) & MASK32
+    if op == "*":
+        return (a * b) & MASK32
+    if op == "/":
+        return a // b if b != 0 else None      # keep the runtime trap
+    if op == "%":
+        return a % b if b != 0 else None
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op in ("<<", ">>"):
+        if b >= 32:
+            return None                        # arch-divergent
+        return ((a << b) & MASK32) if op == "<<" else (a >> b)
+    if op == "==":
+        return 1 if a == b else 0
+    if op == "!=":
+        return 1 if a != b else 0
+    if op == "<":
+        return 1 if a < b else 0
+    if op == "<=":
+        return 1 if a <= b else 0
+    if op == ">":
+        return 1 if a > b else 0
+    if op == ">=":
+        return 1 if a >= b else 0
+    return None
+
+
+def _is_const(expr: ast.Expr, value: Optional[int] = None) -> bool:
+    if not isinstance(expr, ast.Num):
+        return False
+    return value is None or expr.value == value
+
+
+def fold_expr(expr: ast.Expr) -> ast.Expr:
+    """Return a (possibly) folded copy-in-place of *expr*."""
+    if isinstance(expr, ast.Unary):
+        expr.operand = fold_expr(expr.operand)
+        if isinstance(expr.operand, ast.Num):
+            value = expr.operand.value
+            if expr.op == "-":
+                return ast.Num(line=expr.line, value=(-value) & MASK32)
+            if expr.op == "~":
+                return ast.Num(line=expr.line, value=(~value) & MASK32)
+            if expr.op == "!":
+                return ast.Num(line=expr.line,
+                               value=0 if value else 1)
+        return expr
+    if isinstance(expr, ast.Binary):
+        expr.left = fold_expr(expr.left)
+        expr.right = fold_expr(expr.right)
+        left, right = expr.left, expr.right
+        if isinstance(left, ast.Num) and isinstance(right, ast.Num) \
+                and expr.op not in ("&&", "||"):
+            folded = _fold_binary_consts(expr.op, left.value,
+                                         right.value)
+            if folded is not None:
+                return ast.Num(line=expr.line, value=folded)
+        # algebraic identities (sound for unsigned wraparound)
+        if expr.op == "+":
+            if _is_const(right, 0):
+                return left
+            if _is_const(left, 0):
+                return right
+        elif expr.op == "-" and _is_const(right, 0):
+            return left
+        elif expr.op == "*":
+            if _is_const(right, 1):
+                return left
+            if _is_const(left, 1):
+                return right
+        elif expr.op in ("<<", ">>") and _is_const(right, 0):
+            return left
+        elif expr.op == "|":
+            if _is_const(right, 0):
+                return left
+            if _is_const(left, 0):
+                return right
+        return expr
+    if isinstance(expr, ast.Call):
+        expr.args = [fold_expr(arg) for arg in expr.args]
+        return expr
+    if isinstance(expr, ast.FieldAccess):
+        expr.base = fold_expr(expr.base)
+        return expr
+    if isinstance(expr, ast.Index):
+        expr.index = fold_expr(expr.index)
+        return expr
+    return expr
+
+
+def _fold_block(body: List[ast.Stmt]) -> List[ast.Stmt]:
+    out: List[ast.Stmt] = []
+    for stmt in body:
+        folded = _fold_stmt(stmt)
+        if folded is not None:
+            out.append(folded)
+    return out
+
+
+def _fold_stmt(stmt: ast.Stmt) -> Optional[ast.Stmt]:
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.init is not None:
+            stmt.init = fold_expr(stmt.init)
+        return stmt
+    if isinstance(stmt, ast.Assign):
+        stmt.target = fold_expr(stmt.target)
+        stmt.value = fold_expr(stmt.value)
+        return stmt
+    if isinstance(stmt, ast.If):
+        stmt.cond = fold_expr(stmt.cond)
+        stmt.then_body = _fold_block(stmt.then_body)
+        stmt.else_body = _fold_block(stmt.else_body)
+        # if (CONST) { ... }: keep only the live branch — but only
+        # when the dead branch declares no locals (slot indices are
+        # assigned at sema time and must stay stable)
+        if isinstance(stmt.cond, ast.Num):
+            live = stmt.then_body if stmt.cond.value else stmt.else_body
+            dead = stmt.else_body if stmt.cond.value else stmt.then_body
+            if not _declares_locals(dead):
+                if not live:
+                    return None
+                block = ast.If(line=stmt.line,
+                               cond=ast.Num(line=stmt.line, value=1),
+                               then_body=live, else_body=[])
+                return block
+        return stmt
+    if isinstance(stmt, ast.While):
+        stmt.cond = fold_expr(stmt.cond)
+        stmt.body = _fold_block(stmt.body)
+        if isinstance(stmt.cond, ast.Num) and stmt.cond.value == 0 \
+                and not _declares_locals(stmt.body):
+            return None                          # while (0): dead
+        return stmt
+    if isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            stmt.value = fold_expr(stmt.value)
+        return stmt
+    if isinstance(stmt, ast.ExprStmt):
+        stmt.expr = fold_expr(stmt.expr)
+        return stmt
+    return stmt
+
+
+def _declares_locals(body: List[ast.Stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.VarDecl):
+            return True
+        if isinstance(stmt, ast.If):
+            if _declares_locals(stmt.then_body) or \
+                    _declares_locals(stmt.else_body):
+                return True
+        elif isinstance(stmt, ast.While):
+            if _declares_locals(stmt.body):
+                return True
+    return False
+
+
+def optimize_program(program: ast.Program) -> ast.Program:
+    """Fold every function body in place; returns the program."""
+    for func in program.functions:
+        func.body = _fold_block(func.body)
+    return program

@@ -1,0 +1,371 @@
+"""Recursive-descent parser for the kernel DSL.
+
+Grammar sketch (see tests/test_kcc_parser.py for worked examples)::
+
+    program  := (struct | global | const | fn)*
+    struct   := "struct" NAME "{" (NAME ":" type ";")* "}"
+    global   := "global" NAME ":" gtype ("[" cexpr "]")? ("=" init)? ";"
+    const    := "const" NAME "=" cexpr ";"
+    fn       := "fn" NAME "(" params? ")" ("->" type)? block
+    stmt     := "var" NAME ":" type ("=" expr)? ";"
+              | lvalue "=" expr ";"
+              | "if" "(" expr ")" block ("else" (block | if))?
+              | "while" "(" expr ")" block
+              | "return" expr? ";" | "break" ";" | "continue" ";"
+              | expr ";"
+
+Expressions use C precedence; all arithmetic is 32-bit unsigned.
+``sizeof(Struct)`` is backend-dependent and stays symbolic until
+code generation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kcc import ast
+from repro.kcc.ast import Type, U8, U16, U32
+from repro.kcc.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.cur
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None
+               ) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.cur.text!r}", self.cur.line)
+        return self.advance()
+
+    # -- types ----------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        if self.accept("op", "*"):
+            if self.check("kw") and self.cur.text in ("u8", "u16", "u32"):
+                return Type(4, pointee=self.advance().text)
+            name = self.expect("name").text
+            return Type(4, pointee=name)
+        token = self.advance()
+        if token.text == "u8":
+            return U8
+        if token.text == "u16":
+            return U16
+        if token.text == "u32":
+            return U32
+        raise ParseError(f"expected type, found {token.text!r}", token.line)
+
+    # -- top level --------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.check("eof"):
+            if self.check("kw", "struct"):
+                program.structs.append(self.parse_struct())
+            elif self.check("kw", "global"):
+                program.globals.append(self.parse_global(program))
+            elif self.check("kw", "const"):
+                line = self.advance().line
+                name = self.expect("name").text
+                self.expect("op", "=")
+                value = self.parse_const_expr(program)
+                self.expect("op", ";")
+                if name in program.consts:
+                    raise ParseError(f"duplicate const {name}", line)
+                program.consts[name] = value & 0xFFFFFFFF
+            elif self.check("kw", "fn"):
+                program.functions.append(self.parse_fn())
+            else:
+                raise ParseError(
+                    f"expected item, found {self.cur.text!r}", self.cur.line)
+        return program
+
+    def parse_struct(self) -> ast.StructDef:
+        line = self.expect("kw", "struct").line
+        name = self.expect("name").text
+        self.expect("op", "{")
+        fields: List[ast.StructField] = []
+        while not self.accept("op", "}"):
+            fline = self.cur.line
+            fname = self.expect("name").text
+            self.expect("op", ":")
+            ftype = self.parse_type()
+            self.expect("op", ";")
+            fields.append(ast.StructField(fname, ftype, fline))
+        return ast.StructDef(name, fields, line)
+
+    def parse_global(self, program: ast.Program) -> ast.GlobalDef:
+        line = self.expect("kw", "global").line
+        name = self.expect("name").text
+        self.expect("op", ":")
+        is_struct = False
+        struct = ""
+        if self.check("name"):
+            # A bare name in type position is a struct-typed global.
+            struct = self.advance().text
+            is_struct = True
+            var_type = U32
+        else:
+            var_type = self.parse_type()
+        count = 1
+        if self.accept("op", "["):
+            count = self.parse_const_expr(program)
+            self.expect("op", "]")
+        init: List[int] = []
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                while not self.accept("op", "}"):
+                    init.append(self.parse_const_expr(program))
+                    if not self.check("op", "}"):
+                        self.expect("op", ",")
+            else:
+                init.append(self.parse_const_expr(program))
+        self.expect("op", ";")
+        return ast.GlobalDef(name, var_type, count, init, is_struct,
+                             struct, line)
+
+    def parse_const_expr(self, program: ast.Program) -> int:
+        """Constant expressions: numbers, consts, + - * << | parens."""
+        return self._const_binary(program, 0)
+
+    def _const_binary(self, program: ast.Program, level: int) -> int:
+        ops_by_level = [["|"], ["<<", ">>"], ["+", "-"], ["*"]]
+        if level >= len(ops_by_level):
+            return self._const_atom(program)
+        value = self._const_binary(program, level + 1)
+        while self.cur.kind == "op" and self.cur.text in ops_by_level[level]:
+            op = self.advance().text
+            rhs = self._const_binary(program, level + 1)
+            if op == "+":
+                value = (value + rhs) & 0xFFFFFFFF
+            elif op == "-":
+                value = (value - rhs) & 0xFFFFFFFF
+            elif op == "*":
+                value = (value * rhs) & 0xFFFFFFFF
+            elif op == "<<":
+                value = (value << (rhs & 31)) & 0xFFFFFFFF
+            elif op == ">>":
+                value = value >> (rhs & 31)
+            else:
+                value = value | rhs
+        return value
+
+    def _const_atom(self, program: ast.Program) -> int:
+        if self.accept("op", "("):
+            value = self.parse_const_expr(program)
+            self.expect("op", ")")
+            return value
+        token = self.advance()
+        if token.kind == "num":
+            return token.value
+        if token.kind == "name" and token.text in program.consts:
+            return program.consts[token.text]
+        raise ParseError(
+            f"expected constant, found {token.text!r}", token.line)
+
+    def parse_fn(self) -> ast.FuncDef:
+        line = self.expect("kw", "fn").line
+        name = self.expect("name").text
+        self.expect("op", "(")
+        params: List[ast.VarDecl] = []
+        while not self.accept("op", ")"):
+            pline = self.cur.line
+            pname = self.expect("name").text
+            self.expect("op", ":")
+            ptype = self.parse_type()
+            params.append(ast.VarDecl(line=pline, name=pname,
+                                      var_type=ptype))
+            if not self.check("op", ")"):
+                self.expect("op", ",")
+        return_type = U32
+        if self.accept("op", "->"):
+            return_type = self.parse_type()
+        body = self.parse_block()
+        return ast.FuncDef(name, params, return_type, body, line)
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_block(self) -> List[ast.Stmt]:
+        self.expect("op", "{")
+        body: List[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            body.append(self.parse_stmt())
+        return body
+
+    def parse_stmt(self) -> ast.Stmt:
+        line = self.cur.line
+        if self.accept("kw", "var"):
+            name = self.expect("name").text
+            self.expect("op", ":")
+            var_type = self.parse_type()
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_expr()
+            self.expect("op", ";")
+            return ast.VarDecl(line=line, name=name, var_type=var_type,
+                               init=init)
+        if self.check("kw", "if"):
+            return self.parse_if()
+        if self.accept("kw", "while"):
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            body = self.parse_block()
+            return ast.While(line=line, cond=cond, body=body)
+        if self.accept("kw", "return"):
+            value = None
+            if not self.check("op", ";"):
+                value = self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(line=line, value=value)
+        if self.accept("kw", "break"):
+            self.expect("op", ";")
+            return ast.Break(line=line)
+        if self.accept("kw", "continue"):
+            self.expect("op", ";")
+            return ast.Continue(line=line)
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            value = self.parse_expr()
+            self.expect("op", ";")
+            if not isinstance(expr, (ast.Name, ast.FieldAccess, ast.Index)):
+                raise ParseError("invalid assignment target", line)
+            return ast.Assign(line=line, target=expr, value=value)
+        self.expect("op", ";")
+        return ast.ExprStmt(line=line, expr=expr)
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: List[ast.Stmt] = []
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(line=line, cond=cond, then_body=then_body,
+                      else_body=else_body)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        left = self._binary(level + 1)
+        while self.cur.kind == "op" and \
+                self.cur.text in _BINARY_LEVELS[level]:
+            op = self.advance()
+            right = self._binary(level + 1)
+            left = ast.Binary(line=op.line, op=op.text, left=left,
+                              right=right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        token = self.cur
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            operand = self._unary()
+            return ast.Unary(line=token.line, op=token.text,
+                             operand=operand)
+        if token.kind == "op" and token.text == "&":
+            self.advance()
+            name = self.expect("name").text
+            return ast.AddrOf(line=token.line, name=name)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._atom()
+        while True:
+            if self.accept("op", "."):
+                fname = self.expect("name").text
+                expr = ast.FieldAccess(line=self.cur.line, base=expr,
+                                       field_name=fname)
+            elif self.check("op", "[") and isinstance(expr, ast.Name):
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(line=self.cur.line, name=expr.name,
+                                 index=index)
+            else:
+                return expr
+
+    def _atom(self) -> ast.Expr:
+        token = self.advance()
+        if token.kind == "num":
+            return ast.Num(line=token.line, value=token.value)
+        if token.kind == "kw" and token.text == "null":
+            return ast.Num(line=token.line, value=0)
+        if token.kind == "kw" and token.text == "sizeof":
+            self.expect("op", "(")
+            struct = self.expect("name").text
+            self.expect("op", ")")
+            return ast.SizeOf(line=token.line, struct=struct)
+        if token.kind == "name":
+            if self.accept("op", "("):
+                args: List[ast.Expr] = []
+                while not self.accept("op", ")"):
+                    args.append(self.parse_expr())
+                    if not self.check("op", ")"):
+                        self.expect("op", ",")
+                return ast.Call(line=token.line, name=token.text, args=args)
+            return ast.Name(line=token.line, name=token.text)
+        if token.kind == "op" and token.text == "(":
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(
+            f"expected expression, found {token.text!r}", token.line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse DSL *source* into an (unanalyzed) :class:`ast.Program`."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,61 @@
+"""Python-side mirror of the kernel ABI.
+
+Everything the machine layer and the workload need to know about the
+kernel's calling surface lives here; ``tests/test_kernel_abi.py``
+asserts these values against the constants parsed from the DSL source,
+so the two can never drift apart silently.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Syscall(enum.IntEnum):
+    """Syscall numbers (must match ``syscall.kc``)."""
+
+    GETPID = 0
+    SCHED_YIELD = 1
+    NANOSLEEP = 2
+    BRK = 3
+    OPEN = 4
+    CLOSE = 5
+    READ = 6
+    WRITE = 7
+    LSEEK = 8
+    FSYNC = 9
+    PIPE_WRITE = 10
+    PIPE_READ = 11
+    SEND = 12
+    RECV = 13
+    OPEN_PATH = 14
+
+
+SYSCALL_NUMBERS = {f"SYS_{syscall.name}": int(syscall)
+                   for syscall in Syscall}
+
+#: task_struct.state values (must match ``sched.kc``)
+TASK_RUNNING = 0
+TASK_INTERRUPTIBLE = 1
+TASK_UNINTERRUPTIBLE = 2
+TASK_STOPPED = 8
+TASK_UNUSED = 255
+
+NR_TASKS = 8
+NR_SYSCALLS = 16
+
+#: spinlock magic (must match ``spinlock.kc``; the paper's Figure 13
+#: value)
+SPINLOCK_MAGIC = 0xDEAD4EAD
+
+#: error returns (two's complement negatives, as the kernel returns)
+ENOSYS = 0xFFFFFFDA
+EBADF = 0xFFFFFFF7
+EINVAL = 0xFFFFFFEA
+
+#: kernel entry points the machine layer calls directly
+ENTRY_FUNCTIONS = (
+    "kernel_init", "do_syscall", "timer_tick", "schedule",
+    "task_create", "task_exit", "wake_up_process",
+    "kupdate", "kjournald",
+)

@@ -1,0 +1,21 @@
+"""Machine layer: a bootable simulated target node.
+
+A :class:`~repro.machine.machine.Machine` is one target system from the
+paper's Figure 1: a CPU core (P4- or G4-flavoured), physical memory
+with a Linux-like kernel mapping, a watchdog card for hang detection,
+and a network interface through which the kernel-embedded crash handler
+ships crash dumps to the remote collector.
+"""
+
+from repro.machine.events import (
+    CrashReport, HangDetected, KernelCrash, OutcomeEvent,
+)
+from repro.machine.machine import Machine, MachineConfig
+from repro.machine.nic import LossyChannel, NIC
+from repro.machine.watchdog import Watchdog
+
+__all__ = [
+    "Machine", "MachineConfig",
+    "CrashReport", "KernelCrash", "HangDetected", "OutcomeEvent",
+    "NIC", "LossyChannel", "Watchdog",
+]

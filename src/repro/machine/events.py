@@ -1,0 +1,75 @@
+"""Crash/hang event types produced by the machine layer.
+
+A :class:`CrashReport` is the machine-level truth about a crash; whether
+the *experimenter* learns the cause depends on the crash dump surviving
+the trip to the remote collector (see :mod:`repro.machine.nic`) — the
+paper's Known Crash vs Hang/Unknown Crash distinction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class CrashReport:
+    """Everything the embedded crash handler could gather."""
+
+    arch: str
+    vector: object                     # X86Vector or PPCVector
+    address: Optional[int]
+    detail: str
+    pc: int
+    cycles_at_crash: int
+    instret_at_crash: int
+    registers: Dict[str, int] = field(default_factory=dict)
+    function: str = ""                 # kernel function containing pc
+    subsystem: str = ""
+    #: frame-pointer chain walked by the crash handler (the paper logs
+    #: frame pointers before and after injection)
+    frame_pointers: tuple = ()
+    #: the G4 exception-entry wrapper found the stack pointer outside
+    #: the task's 8 KiB stack
+    stack_out_of_range: bool = False
+    #: the kernel's panic_code global was set (software-detected error)
+    panic: bool = False
+    panic_code: int = 0
+    #: x86 only: the exception handler could not push its frame (ESP
+    #: unusable) — double fault, no dump possible
+    dump_failed: bool = False
+    #: did the crash dump packet reach the remote collector?
+    dump_delivered: bool = False
+    error_code: int = 0
+    program_reason: Optional[object] = None
+
+
+class KernelCrash(Exception):
+    """Raised by the machine when the kernel dies."""
+
+    def __init__(self, report: CrashReport):
+        self.report = report
+        super().__init__(
+            f"[{report.arch}] {report.vector} at pc={report.pc:#010x} "
+            f"addr={report.address!r} in {report.function or '?'}: "
+            f"{report.detail}")
+
+
+class HangDetected(Exception):
+    """Raised when the watchdog (or a call budget) detects no progress."""
+
+    def __init__(self, where: str, cycles: int, detail: str = ""):
+        self.where = where
+        self.cycles = cycles
+        self.detail = detail
+        super().__init__(f"hang in {where} after {cycles} cycles {detail}")
+
+
+@dataclass
+class OutcomeEvent:
+    """Machine-level outcome of one monitored run (pre-classification)."""
+
+    kind: str                          # "ok" | "crash" | "hang"
+    crash: Optional[CrashReport] = None
+    hang_where: str = ""
+    cycles: int = 0

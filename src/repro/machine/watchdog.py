@@ -1,0 +1,38 @@
+"""Watchdog card: hang detection and automated reboot.
+
+The paper embeds hardware watchdog cards (driven by Linux drivers) in
+every target machine so that a hung system reboots without operator
+intervention.  Our model is the same contract: the machine *pets* the
+watchdog whenever the workload makes forward progress; if too many
+cycles elapse between pets, the watchdog fires.
+"""
+
+from __future__ import annotations
+
+
+class Watchdog:
+    """Cycle-budget liveness monitor."""
+
+    def __init__(self, timeout_cycles: int = 5_000_000):
+        if timeout_cycles <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout_cycles = timeout_cycles
+        self._last_pet = 0
+        self.fired = False
+        self.reboots = 0
+
+    def pet(self, now_cycles: int) -> None:
+        """Record forward progress."""
+        self._last_pet = now_cycles
+
+    def expired(self, now_cycles: int) -> bool:
+        return now_cycles - self._last_pet > self.timeout_cycles
+
+    def fire(self) -> None:
+        """The card pulls the reset line."""
+        self.fired = True
+        self.reboots += 1
+
+    def reset(self) -> None:
+        self.fired = False
+        self._last_pet = 0

@@ -1,0 +1,356 @@
+"""Structured PowerPC assembler used by the ``kcc`` PPC backend.
+
+Same philosophy as :mod:`repro.x86.assembler`: a builder API producing
+exactly the encodings the decoder understands, with local label fixups
+(14-bit conditional and 24-bit unconditional branch displacements) and
+linker relocations for cross-function ``bl`` and ``lis``/``ori`` address
+materialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ppc.registers import SPR_CTR, SPR_LR
+
+
+class AssemblerError(Exception):
+    pass
+
+
+@dataclass
+class Reloc:
+    """An unresolved reference to an external symbol.
+
+    ``kind`` is one of ``"rel24"`` (bl), ``"hi16"``, ``"lo16"``
+    (lis/ori address materialization).
+    """
+
+    offset: int
+    symbol: str
+    kind: str
+
+
+def dform(opcd: int, rt: int, ra: int, imm: int) -> int:
+    return ((opcd & 0x3F) << 26) | ((rt & 0x1F) << 21) | \
+        ((ra & 0x1F) << 16) | (imm & 0xFFFF)
+
+
+def xform(opcd: int, rt: int, ra: int, rb: int, ext: int,
+          rc: int = 0) -> int:
+    return ((opcd & 0x3F) << 26) | ((rt & 0x1F) << 21) | \
+        ((ra & 0x1F) << 16) | ((rb & 0x1F) << 11) | \
+        ((ext & 0x3FF) << 1) | (rc & 1)
+
+
+class PPCAssembler:
+    """Accumulates encoded instruction words plus labels/relocations."""
+
+    def __init__(self) -> None:
+        self.words: List[int] = []
+        self.labels: Dict[str, int] = {}
+        self._fixups: List[Tuple[int, str, str]] = []   # index, label, kind
+        self.relocs: List[Reloc] = []
+
+    # -- plumbing ---------------------------------------------------------
+
+    def emit(self, word: int) -> int:
+        self.words.append(word & 0xFFFFFFFF)
+        return len(self.words) - 1
+
+    def label(self, name: str) -> None:
+        if name in self.labels:
+            raise AssemblerError(f"duplicate label {name}")
+        self.labels[name] = len(self.words)
+
+    def new_label(self, hint: str = "L") -> str:
+        return f".{hint}{len(self.words)}_{len(self._fixups)}"
+
+    @property
+    def size(self) -> int:
+        return len(self.words) * 4
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def addi(self, rt: int, ra: int, imm: int) -> None:
+        self.emit(dform(14, rt, ra, imm))
+
+    def addis(self, rt: int, ra: int, imm: int) -> None:
+        self.emit(dform(15, rt, ra, imm))
+
+    def li(self, rt: int, imm: int) -> None:
+        self.addi(rt, 0, imm)
+
+    def lis(self, rt: int, imm: int) -> None:
+        self.addis(rt, 0, imm)
+
+    def mulli(self, rt: int, ra: int, imm: int) -> None:
+        self.emit(dform(7, rt, ra, imm))
+
+    def add(self, rt: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rt, ra, rb, 266))
+
+    def subf(self, rt: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rt, ra, rb, 40))
+
+    def neg(self, rt: int, ra: int) -> None:
+        self.emit(xform(31, rt, ra, 0, 104))
+
+    def mullw(self, rt: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rt, ra, rb, 235))
+
+    def divw(self, rt: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rt, ra, rb, 491))
+
+    def divwu(self, rt: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rt, ra, rb, 459))
+
+    # -- logic (note rs-in-rt-slot encoding for X-form logicals) -------------
+
+    def and_(self, ra: int, rs: int, rb: int) -> None:
+        self.emit(xform(31, rs, ra, rb, 28))
+
+    def or_(self, ra: int, rs: int, rb: int) -> None:
+        self.emit(xform(31, rs, ra, rb, 444))
+
+    def mr(self, ra: int, rs: int) -> None:
+        self.or_(ra, rs, rs)
+
+    def xor_(self, ra: int, rs: int, rb: int) -> None:
+        self.emit(xform(31, rs, ra, rb, 316))
+
+    def nor(self, ra: int, rs: int, rb: int) -> None:
+        self.emit(xform(31, rs, ra, rb, 124))
+
+    def slw(self, ra: int, rs: int, rb: int) -> None:
+        self.emit(xform(31, rs, ra, rb, 24))
+
+    def srw(self, ra: int, rs: int, rb: int) -> None:
+        self.emit(xform(31, rs, ra, rb, 536))
+
+    def sraw(self, ra: int, rs: int, rb: int) -> None:
+        self.emit(xform(31, rs, ra, rb, 792))
+
+    def srawi(self, ra: int, rs: int, sh: int) -> None:
+        self.emit(xform(31, rs, ra, sh, 824))
+
+    def ori(self, ra: int, rs: int, imm: int) -> None:
+        self.emit(dform(24, rs, ra, imm))
+
+    def oris(self, ra: int, rs: int, imm: int) -> None:
+        self.emit(dform(25, rs, ra, imm))
+
+    def xori(self, ra: int, rs: int, imm: int) -> None:
+        self.emit(dform(26, rs, ra, imm))
+
+    def andi_dot(self, ra: int, rs: int, imm: int) -> None:
+        self.emit(dform(28, rs, ra, imm))
+
+    def rlwinm(self, ra: int, rs: int, sh: int, mb: int, me: int) -> None:
+        word = ((21 & 0x3F) << 26) | ((rs & 0x1F) << 21) | \
+            ((ra & 0x1F) << 16) | ((sh & 0x1F) << 11) | \
+            ((mb & 0x1F) << 6) | ((me & 0x1F) << 1)
+        self.emit(word)
+
+    def nop(self) -> None:
+        self.ori(0, 0, 0)
+
+    # -- compare ---------------------------------------------------------------
+
+    def cmpwi(self, ra: int, imm: int, crf: int = 0) -> None:
+        self.emit(dform(11, crf << 2, ra, imm))
+
+    def cmplwi(self, ra: int, imm: int, crf: int = 0) -> None:
+        self.emit(dform(10, crf << 2, ra, imm))
+
+    def cmpw(self, ra: int, rb: int, crf: int = 0) -> None:
+        self.emit(xform(31, crf << 2, ra, rb, 0))
+
+    def cmplw(self, ra: int, rb: int, crf: int = 0) -> None:
+        self.emit(xform(31, crf << 2, ra, rb, 32))
+
+    # -- memory ---------------------------------------------------------------
+
+    def lwz(self, rt: int, d: int, ra: int) -> None:
+        self.emit(dform(32, rt, ra, d))
+
+    def lwzu(self, rt: int, d: int, ra: int) -> None:
+        self.emit(dform(33, rt, ra, d))
+
+    def lbz(self, rt: int, d: int, ra: int) -> None:
+        self.emit(dform(34, rt, ra, d))
+
+    def lhz(self, rt: int, d: int, ra: int) -> None:
+        self.emit(dform(40, rt, ra, d))
+
+    def lha(self, rt: int, d: int, ra: int) -> None:
+        self.emit(dform(42, rt, ra, d))
+
+    def stw(self, rs: int, d: int, ra: int) -> None:
+        self.emit(dform(36, rs, ra, d))
+
+    def stwu(self, rs: int, d: int, ra: int) -> None:
+        self.emit(dform(37, rs, ra, d))
+
+    def stb(self, rs: int, d: int, ra: int) -> None:
+        self.emit(dform(38, rs, ra, d))
+
+    def sth(self, rs: int, d: int, ra: int) -> None:
+        self.emit(dform(44, rs, ra, d))
+
+    def lmw(self, rt: int, d: int, ra: int) -> None:
+        self.emit(dform(46, rt, ra, d))
+
+    def stmw(self, rs: int, d: int, ra: int) -> None:
+        self.emit(dform(47, rs, ra, d))
+
+    def lwzx(self, rt: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rt, ra, rb, 23))
+
+    def stwx(self, rs: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rs, ra, rb, 151))
+
+    def lbzx(self, rt: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rt, ra, rb, 87))
+
+    def stbx(self, rs: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rs, ra, rb, 215))
+
+    def lhzx(self, rt: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rt, ra, rb, 279))
+
+    def sthx(self, rs: int, ra: int, rb: int) -> None:
+        self.emit(xform(31, rs, ra, rb, 407))
+
+    # -- branches ----------------------------------------------------------------
+
+    def b_label(self, label: str) -> None:
+        self._fixups.append((len(self.words), label, "rel24"))
+        self.emit((18 << 26))
+
+    def bl_sym(self, symbol: str) -> None:
+        self.relocs.append(Reloc(len(self.words) * 4, symbol, "rel24"))
+        self.emit((18 << 26) | 1)
+
+    def bc_label(self, bo: int, bi: int, label: str) -> None:
+        self._fixups.append((len(self.words), label, "rel14"))
+        self.emit((16 << 26) | ((bo & 0x1F) << 21) | ((bi & 0x1F) << 16))
+
+    def beq(self, label: str, crf: int = 0) -> None:
+        self.bc_label(12, 4 * crf + 2, label)
+
+    def bne(self, label: str, crf: int = 0) -> None:
+        self.bc_label(4, 4 * crf + 2, label)
+
+    def blt(self, label: str, crf: int = 0) -> None:
+        self.bc_label(12, 4 * crf + 0, label)
+
+    def bge(self, label: str, crf: int = 0) -> None:
+        self.bc_label(4, 4 * crf + 0, label)
+
+    def bgt(self, label: str, crf: int = 0) -> None:
+        self.bc_label(12, 4 * crf + 1, label)
+
+    def ble(self, label: str, crf: int = 0) -> None:
+        self.bc_label(4, 4 * crf + 1, label)
+
+    def blr(self) -> None:
+        self.emit((19 << 26) | (20 << 21) | (16 << 1))
+
+    def bctrl(self) -> None:
+        self.emit((19 << 26) | (20 << 21) | (528 << 1) | 1)
+
+    def bctr(self) -> None:
+        self.emit((19 << 26) | (20 << 21) | (528 << 1))
+
+    # -- SPR / system --------------------------------------------------------------
+
+    def mfspr(self, rt: int, spr: int) -> None:
+        swapped = ((spr & 0x1F) << 16) | (((spr >> 5) & 0x1F) << 11)
+        self.emit((31 << 26) | ((rt & 0x1F) << 21) | swapped | (339 << 1))
+
+    def mtspr(self, spr: int, rs: int) -> None:
+        swapped = ((spr & 0x1F) << 16) | (((spr >> 5) & 0x1F) << 11)
+        self.emit((31 << 26) | ((rs & 0x1F) << 21) | swapped | (467 << 1))
+
+    def mflr(self, rt: int) -> None:
+        self.mfspr(rt, SPR_LR)
+
+    def mtlr(self, rs: int) -> None:
+        self.mtspr(SPR_LR, rs)
+
+    def mfctr(self, rt: int) -> None:
+        self.mfspr(rt, SPR_CTR)
+
+    def mtctr(self, rs: int) -> None:
+        self.mtspr(SPR_CTR, rs)
+
+    def mfmsr(self, rt: int) -> None:
+        self.emit(xform(31, rt, 0, 0, 83))
+
+    def mtmsr(self, rs: int) -> None:
+        self.emit(xform(31, rs, 0, 0, 146))
+
+    def sc(self) -> None:
+        self.emit((17 << 26) | 2)
+
+    def twi(self, to: int, ra: int, imm: int) -> None:
+        self.emit(dform(3, to, ra, imm))
+
+    def trap(self) -> None:
+        """Unconditional trap — the kernel's BUG() on PowerPC."""
+        self.emit(xform(31, 31, 0, 0, 4))    # tw 31,r0,r0
+
+    def isync(self) -> None:
+        self.emit((19 << 26) | (150 << 1))
+
+    def sync(self) -> None:
+        self.emit(xform(31, 0, 0, 0, 598))
+
+    # -- address materialization -----------------------------------------------------
+
+    def load_addr_sym(self, rt: int, symbol: str) -> None:
+        """lis rt, sym@hi ; ori rt, rt, sym@lo  (linker-resolved)."""
+        self.relocs.append(Reloc(len(self.words) * 4, symbol, "hi16"))
+        self.lis(rt, 0)
+        self.relocs.append(Reloc(len(self.words) * 4, symbol, "lo16"))
+        self.ori(rt, rt, 0)
+
+    def load_imm32(self, rt: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        high = (value >> 16) & 0xFFFF
+        low = value & 0xFFFF
+        if high:
+            self.lis(rt, high)
+            if low:
+                self.ori(rt, rt, low)
+        elif low & 0x8000:
+            self.li(rt, 0)
+            self.ori(rt, rt, low)
+        else:
+            self.li(rt, low)
+
+    # -- finalization -------------------------------------------------------------------
+
+    def finish(self) -> bytes:
+        """Resolve label fixups and return big-endian code bytes."""
+        for index, label, kind in self._fixups:
+            if label not in self.labels:
+                raise AssemblerError(f"undefined label {label}")
+            rel = (self.labels[label] - index) * 4
+            word = self.words[index]
+            if kind == "rel24":
+                if not -(1 << 25) <= rel < (1 << 25):
+                    raise AssemblerError("rel24 overflow")
+                word |= rel & 0x03FFFFFC
+            else:
+                if not -(1 << 15) <= rel < (1 << 15):
+                    raise AssemblerError("rel14 overflow")
+                word |= rel & 0xFFFC
+            self.words[index] = word
+        self._fixups.clear()
+        out = bytearray()
+        for word in self.words:
+            out.extend(word.to_bytes(4, "big"))
+        return bytes(out)

@@ -1,0 +1,58 @@
+"""PowerPC exception vectors and the fault type raised by the G4 core.
+
+The vector set matches the crash-cause buckets of the paper's Table 4:
+DSI faults become "Bad Area" (or "Bus Error" when the cause is a
+protection violation), ISI and Program faults become "Illegal
+Instruction", the kernel's exception-entry stack-range wrapper turns
+out-of-range stack pointers into "Stack Overflow", machine checks map
+to "Machine Check", and unknown vectors to "Bad Trap".
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.faults import Fault
+
+
+class PPCVector(enum.IntEnum):
+    """PowerPC exception vector offsets (subset of the OEA model)."""
+
+    SYSTEM_RESET = 0x100
+    MACHINE_CHECK = 0x200
+    DSI = 0x300                  # data storage interrupt
+    ISI = 0x400                  # instruction storage interrupt
+    EXTERNAL = 0x500
+    ALIGNMENT = 0x600
+    PROGRAM = 0x700              # illegal instruction / trap / privileged
+    FP_UNAVAILABLE = 0x800
+    DECREMENTER = 0x900
+    SYSCALL = 0xC00
+    TRACE = 0xD00
+    PERFORMANCE_MONITOR = 0xF00
+    UNKNOWN = 0xFFF              # corrupted vectoring: "Bad Trap"
+
+
+class ProgramReason(enum.Enum):
+    """Why a Program exception was raised (DSISR-style detail)."""
+
+    ILLEGAL = "illegal-instruction"
+    PRIVILEGED = "privileged-instruction"
+    TRAP = "trap-instruction"
+
+
+class PPCFault(Fault):
+    """A hardware exception raised by :class:`repro.ppc.cpu.PPCCPU`."""
+
+    def __init__(self, vector: PPCVector, address: int | None = None,
+                 detail: str = "", dsisr: int = 0,
+                 program_reason: "ProgramReason | None" = None):
+        self.dsisr = dsisr
+        self.program_reason = program_reason
+        super().__init__(vector=vector, address=address, detail=detail)
+
+
+#: DSISR bit meaning "access violated protection" (vs unmapped).
+DSISR_PROTECTION = 0x08000000
+#: DSISR bit meaning the faulting access was a store.
+DSISR_STORE = 0x02000000

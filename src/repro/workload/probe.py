@@ -1,0 +1,167 @@
+"""Clean-run probe: records what an unperturbed workload run touches.
+
+One instrumented run per (architecture, seed, ops) yields:
+
+* the **data access trace** — every load/store (instret, addr, width,
+  kind) — used to decide *activation* of stack and data injections
+  without a full simulation each (paper Section 3.3: the pre-generated
+  error is "activated" when the watchpoint would have fired);
+* the **executed-address set** — used to decide activation of code
+  injections (a breakpoint at a never-fetched address never fires);
+* run-length figures (instret, cycles) used to place injection instants
+  uniformly inside the monitoring window.
+
+Soundness: programs and scheduler are deterministic for a given seed,
+and an injected run is identical to the clean run up to the moment of
+activation, so the clean trace decides activation exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.machine.machine import Machine
+from repro.workload.driver import UnixBenchDriver
+
+#: (instret, addr, width, kind) where kind is "r" or "w"
+AccessRecord = Tuple[int, int, int, str]
+
+
+@dataclass
+class CleanRunProbe:
+    arch: str
+    seed: int
+    ops: int
+    accesses: List[AccessRecord]
+    executed_pcs: Set[int]
+    boot_instret: int
+    total_instret: int
+    total_cycles: int
+    fsv_clean: bool
+
+    _index: dict = field(default_factory=dict, repr=False)
+
+    def _build_index(self) -> None:
+        """Per-byte index: addr -> instret-sorted list of records."""
+        index: dict = {}
+        for record in self.accesses:
+            _, addr, width, _ = record
+            for byte in range(addr, addr + width):
+                index.setdefault(byte, []).append(record)
+        # records were appended in instret order already
+        self._index = index
+
+    def first_access_after(self, instret: int, addr: int,
+                           length: int = 1
+                           ) -> Optional[AccessRecord]:
+        """First access overlapping [addr, addr+length) after instret."""
+        if not self._index and self.accesses:
+            self._build_index()
+        import bisect
+        best: Optional[AccessRecord] = None
+        for byte in range(addr, addr + length):
+            records = self._index.get(byte)
+            if not records:
+                continue
+            position = bisect.bisect_left(records, (instret,))
+            if position < len(records):
+                candidate = records[position]
+                if best is None or candidate[0] < best[0]:
+                    best = candidate
+        return best
+
+    def pc_executed(self, addr: int) -> bool:
+        return addr in self.executed_pcs
+
+    def stack_runtime_ranges(self, allocations: dict,
+                             window: int = 256) -> dict:
+        """Stack sampling range per task.
+
+        *allocations* maps pid -> (base, top) of the allocated 8 KiB
+        stack.  The paper's generator picks random locations in the
+        active stack area of a randomly chosen kernel process; we use a
+        fixed *window* below each stack top — the same rule on both
+        architectures, so differences in activation/manifestation come
+        from how densely each architecture's frames populate it.  (The
+        measured runtime stack is ~2x deeper on the G4, matching the
+        paper's Section 5.1 observation.)
+        """
+        out = {}
+        for pid, (base, top) in allocations.items():
+            out[pid] = (max(base, top - window), top)
+        return out
+
+    def measured_stack_depth(self, allocations: dict) -> dict:
+        """Deepest touched stack extent per task (diagnostics/tests)."""
+        deepest = {pid: top for pid, (_base, top) in allocations.items()}
+        for _instret, addr, _width, _kind in self.accesses:
+            for pid, (base, top) in allocations.items():
+                if base <= addr < top and addr < deepest[pid]:
+                    deepest[pid] = addr
+        return {pid: allocations[pid][1] - deepest[pid]
+                for pid in allocations}
+
+
+def _instrument(machine: Machine, accesses: List[AccessRecord],
+                executed: Set[int]) -> None:
+    cpu = machine.cpu
+    if machine.arch == "x86":
+        original_load = cpu.load
+        original_store = cpu.store
+        original_step = cpu.step
+
+        def load(addr, width, seg=3):
+            accesses.append((cpu.instret, addr & 0xFFFFFFFF, width, "r"))
+            return original_load(addr, width, seg)
+
+        def store(addr, value, width, seg=3):
+            accesses.append((cpu.instret, addr & 0xFFFFFFFF, width, "w"))
+            return original_store(addr, value, width, seg)
+
+        def step():
+            executed.add(cpu.eip)
+            original_step()
+    else:
+        original_load = cpu.load
+        original_store = cpu.store
+        original_step = cpu.step
+
+        def load(addr, width):
+            accesses.append((cpu.instret, addr & 0xFFFFFFFF, width, "r"))
+            return original_load(addr, width)
+
+        def store(addr, value, width):
+            accesses.append((cpu.instret, addr & 0xFFFFFFFF, width, "w"))
+            return original_store(addr, value, width)
+
+        def step():
+            executed.add(cpu.pc & 0xFFFFFFFC)
+            original_step()
+
+    cpu.load = load
+    cpu.store = store
+    cpu.step = step
+
+
+def probe_clean_run(arch: str, seed: int = 0, ops: int = 60
+                    ) -> CleanRunProbe:
+    """Run the workload once, instrumented, and record everything."""
+    machine = Machine(arch)
+    accesses: List[AccessRecord] = []
+    executed: Set[int] = set()
+    _instrument(machine, accesses, executed)
+    machine.boot()
+    driver = UnixBenchDriver(machine, seed=seed)
+    driver.setup()
+    boot_instret = machine.cpu.instret
+    result = driver.run(ops)
+    return CleanRunProbe(
+        arch=arch, seed=seed, ops=ops,
+        accesses=accesses,
+        executed_pcs=executed,
+        boot_instret=boot_instret,
+        total_instret=machine.cpu.instret,
+        total_cycles=machine.cpu.cycles,
+        fsv_clean=result.fail_silence_violated,
+    )

@@ -1,0 +1,86 @@
+"""kernprof-style sampling profiler for code-injection target selection.
+
+The paper profiles the kernel under UnixBench and selects the most
+frequently used functions representing **at least 95% of kernel usage**
+as code-injection targets (Section 3.5).  This module reproduces that:
+sample the program counter during a clean workload run, attribute
+samples to kernel functions, and return the hot list with its coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.machine.machine import Machine
+from repro.workload.driver import UnixBenchDriver
+
+
+@dataclass
+class FunctionProfile:
+    arch: str
+    samples: int
+    counts: Dict[str, int]
+
+    def hot_functions(self, coverage: float = 0.95
+                      ) -> List[Tuple[str, float]]:
+        """Smallest prefix of functions covering *coverage* of samples.
+
+        Returns (name, fraction) pairs, heaviest first.
+        """
+        total = sum(self.counts.values()) or 1
+        ranked = sorted(self.counts.items(), key=lambda kv: -kv[1])
+        out: List[Tuple[str, float]] = []
+        accumulated = 0.0
+        for name, count in ranked:
+            fraction = count / total
+            out.append((name, fraction))
+            accumulated += fraction
+            if accumulated >= coverage:
+                break
+        return out
+
+
+def profile_kernel(arch: str, seed: int = 0, ops: int = 60,
+                   sample_every: int = 23) -> FunctionProfile:
+    """Sample the PC during a clean run and attribute to functions."""
+    machine = Machine(arch)
+    cpu = machine.cpu
+    image = machine.image
+
+    # sorted function ranges for fast attribution
+    ranges = sorted((info.addr, info.addr + info.size, name)
+                    for name, info in image.functions.items())
+    starts = [entry[0] for entry in ranges]
+
+    counts: Dict[str, int] = {}
+    state = {"countdown": sample_every, "samples": 0}
+    original_step = cpu.step
+
+    import bisect
+
+    def attributed(pc: int) -> str:
+        position = bisect.bisect_right(starts, pc) - 1
+        if position >= 0:
+            start, end, name = ranges[position]
+            if start <= pc < end:
+                return name
+        return "(outside-kernel-text)"
+
+    def step():
+        state["countdown"] -= 1
+        if state["countdown"] <= 0:
+            state["countdown"] = sample_every
+            state["samples"] += 1
+            pc = cpu.eip if arch == "x86" else cpu.pc
+            name = attributed(pc)
+            counts[name] = counts.get(name, 0) + 1
+        original_step()
+
+    cpu.step = step
+    machine.boot()
+    driver = UnixBenchDriver(machine, seed=seed)
+    driver.setup()
+    driver.run(ops)
+    return FunctionProfile(arch=arch, samples=state["samples"],
+                           counts=counts)

@@ -1,0 +1,262 @@
+"""Benchmark programs modelled on the UnixBench suite.
+
+Every program issues syscalls into the simulated kernel and validates
+every result it can (return values, byte-for-byte data, checksums).  A
+failed validation without a crash is a **fail-silence violation** — the
+OS or application let wrong data out (paper Table 2).
+
+Programs are deterministic given their seed, which is what makes the
+clean-run activation screen sound: an injected run is bit-identical to
+the clean run up to the moment the error is activated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.kernel.abi import Syscall
+
+
+@dataclass
+class FSVEvent:
+    """One observed fail-silence violation."""
+
+    program: str
+    op_index: int
+    expected: str
+    actual: str
+
+
+class BenchProgram:
+    """Base class: one user task's syscall-driving program."""
+
+    name = "bench"
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+        self.op_index = 0
+        self.fsv_events: List[FSVEvent] = []
+
+    # -- hooks ------------------------------------------------------------
+
+    def setup(self, machine, task) -> None:
+        """Pre-injection preparation (seed files, buffers)."""
+
+    def step(self, machine, task) -> None:
+        """Issue one operation and validate its result."""
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------
+
+    def _fsv(self, expected: str, actual: str) -> None:
+        self.fsv_events.append(
+            FSVEvent(self.name, self.op_index, expected, actual))
+
+    def _check(self, condition: bool, expected: str, actual: str) -> None:
+        if not condition:
+            self._fsv(expected, actual)
+
+
+def _pattern(seed: int, length: int) -> bytes:
+    """Deterministic data pattern (dense: every byte meaningful)."""
+    return bytes((seed * 131 + index * 7 + 3) & 0xFF
+                 for index in range(length))
+
+
+class FsTime(BenchProgram):
+    """UnixBench fstime: file write/read/copy with checksums."""
+
+    name = "fstime"
+
+    def __init__(self, seed: int = 0, ino: int = 0, io_size: int = 120):
+        super().__init__(seed)
+        self.ino = ino
+        self.io_size = io_size
+        self.fd: Optional[int] = None
+        self.expected = b""
+
+    def setup(self, machine, task) -> None:
+        self.expected = _pattern(self.rng.randrange(256), self.io_size)
+        machine.write_user(task, 0, self.expected)
+        self.fd = machine.syscall(Syscall.OPEN, self.ino)
+        self._check(self.fd < 0x80000000, "fd", f"open={self.fd:#x}")
+        written = machine.syscall(Syscall.WRITE, self.fd, task.user_buf,
+                                  self.io_size)
+        self._check(written == self.io_size, str(self.io_size),
+                    f"write={written}")
+
+    def step(self, machine, task) -> None:
+        self.op_index += 1
+        which = self.op_index % 3
+        if which == 0:
+            # rewrite with a fresh pattern
+            self.expected = _pattern(self.rng.randrange(256),
+                                     self.io_size)
+            machine.write_user(task, 0, self.expected)
+            machine.syscall(Syscall.LSEEK, self.fd, 0)
+            written = machine.syscall(Syscall.WRITE, self.fd,
+                                      task.user_buf, self.io_size)
+            self._check(written == self.io_size, str(self.io_size),
+                        f"write={written}")
+        elif which == 1:
+            machine.syscall(Syscall.LSEEK, self.fd, 0)
+            count = machine.syscall(Syscall.READ, self.fd,
+                                    task.user_buf + 0x800, self.io_size)
+            self._check(count == self.io_size, str(self.io_size),
+                        f"read={count}")
+            if self.op_index % 6 == 1:
+                # UnixBench verifies sampled outputs, not every byte
+                data = machine.read_user(task, 0x800, self.io_size)
+                self._check(data == self.expected, "file data",
+                            "corrupted")
+        else:
+            flushed = machine.syscall(Syscall.FSYNC, self.fd)
+            self._check(flushed < 0x80000000, "fsync>=0",
+                        f"fsync={flushed:#x}")
+
+
+class PipeThroughput(BenchProgram):
+    """UnixBench pipe: ring-buffer write/read round trips."""
+
+    name = "pipe"
+
+    def __init__(self, seed: int = 0, chunk: int = 48):
+        super().__init__(seed)
+        self.chunk = chunk
+
+    def step(self, machine, task) -> None:
+        self.op_index += 1
+        payload = _pattern(self.op_index & 0xFF, self.chunk)
+        machine.write_user(task, 0x400, payload)
+        written = machine.syscall(Syscall.PIPE_WRITE,
+                                  task.user_buf + 0x400, self.chunk)
+        self._check(written == self.chunk, str(self.chunk),
+                    f"pipe_write={written}")
+        count = machine.syscall(Syscall.PIPE_READ,
+                                task.user_buf + 0xC00, self.chunk)
+        self._check(count == self.chunk, str(self.chunk),
+                    f"pipe_read={count}")
+        if self.op_index % 6 == 0:
+            data = machine.read_user(task, 0xC00, self.chunk)
+            self._check(data == payload, "pipe data", "corrupted")
+
+
+class SyscallLoop(BenchProgram):
+    """UnixBench syscall: minimal syscall round trips."""
+
+    name = "syscall"
+
+    def step(self, machine, task) -> None:
+        self.op_index += 1
+        pid = machine.syscall(Syscall.GETPID)
+        self._check(pid == task.pid, str(task.pid), f"getpid={pid}")
+        if self.op_index % 4 == 0:
+            result = machine.syscall(Syscall.BRK)
+            self._check(result != 0, "brk!=0", "brk=0")
+
+
+class Context1(BenchProgram):
+    """UnixBench context1: force scheduling activity."""
+
+    name = "context1"
+
+    def step(self, machine, task) -> None:
+        self.op_index += 1
+        result = machine.syscall(Syscall.SCHED_YIELD)
+        self._check(result == 0, "0", f"yield={result}")
+        pid = machine.syscall(Syscall.GETPID)
+        self._check(pid == task.pid, str(task.pid), f"getpid={pid}")
+
+
+class NetLoop(BenchProgram):
+    """Loopback send/recv with checksum verification in the kernel."""
+
+    name = "netloop"
+
+    def __init__(self, seed: int = 0, size: int = 64):
+        super().__init__(seed)
+        self.size = size
+
+    def step(self, machine, task) -> None:
+        self.op_index += 1
+        payload = _pattern((self.op_index * 5 + 1) & 0xFF, self.size)
+        machine.write_user(task, 0x500, payload)
+        sent = machine.syscall(Syscall.SEND, task.user_buf + 0x500,
+                               self.size)
+        self._check(sent == self.size, str(self.size), f"send={sent}")
+        count = machine.syscall(Syscall.RECV, task.user_buf + 0xE00,
+                                self.size)
+        self._check(count == self.size, str(self.size), f"recv={count}")
+        if self.op_index % 6 == 0:
+            data = machine.read_user(task, 0xE00, self.size)
+            self._check(data == payload, "net data", "corrupted")
+
+
+class PathLookup(BenchProgram):
+    """Open-by-pathname loop: drives the dentry cache's pointer-chained
+    hash walk (real UnixBench's fs/shell scripts stat constantly)."""
+
+    name = "pathlookup"
+
+    NAMES = (b"etc/passwd", b"var/log.txt", b"tmp/a", b"usr/lib.so",
+             b"etc/hosts", b"tmp/bb")
+
+    def step(self, machine, task) -> None:
+        self.op_index += 1
+        name = self.NAMES[self.op_index % len(self.NAMES)]
+        machine.write_user(task, 0x600, name)
+        fd = machine.syscall(Syscall.OPEN_PATH, task.user_buf + 0x600,
+                             len(name))
+        self._check(fd < 0x80000000, "fd", f"open_path={fd:#x}")
+        if fd < 0x80000000:
+            closed = machine.syscall(Syscall.CLOSE, fd)
+            self._check(closed == 0, "0", f"close={closed:#x}")
+
+
+class ShellMix(BenchProgram):
+    """UnixBench shell-ish mix: files + pipes + lookups + syscalls."""
+
+    name = "shellmix"
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        self._fs = FsTime(seed, ino=1, io_size=120)
+        self._pipe = PipeThroughput(seed + 1, chunk=40)
+        self._sys = SyscallLoop(seed + 2)
+        self._path = PathLookup(seed + 3)
+
+    def setup(self, machine, task) -> None:
+        self._fs.setup(machine, task)
+
+    def step(self, machine, task) -> None:
+        self.op_index += 1
+        sub = (self._fs, self._pipe, self._sys,
+               self._path)[self.op_index % 4]
+        sub.step(machine, task)
+
+    @property
+    def all_fsv_events(self) -> List[FSVEvent]:
+        return (self.fsv_events + self._fs.fsv_events
+                + self._pipe.fsv_events + self._sys.fsv_events
+                + self._path.fsv_events)
+
+
+#: the standard mix assigned to the three user tasks
+def default_mix(seed: int) -> List[BenchProgram]:
+    return [
+        FsTime(seed, ino=0),
+        PipeThroughput(seed + 17),
+        ShellMix(seed + 34),
+    ]
+
+
+def collect_fsv(programs: List[BenchProgram]) -> List[FSVEvent]:
+    events: List[FSVEvent] = []
+    for program in programs:
+        if isinstance(program, ShellMix):
+            events.extend(program.all_fsv_events)
+        else:
+            events.extend(program.fsv_events)
+    return events

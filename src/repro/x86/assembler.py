@@ -1,0 +1,395 @@
+"""Structured IA-32 assembler used by the ``kcc`` x86 backend.
+
+This is a builder API, not a text assembler: the compiler backend calls
+methods like :meth:`X86Assembler.mov_r_rm` and the encoder produces the
+same byte sequences GCC 3.2 emits for the paper's examples (``8d 65 f4
+lea -0xc(%ebp),%esp``; ``5b pop %ebx``; ...).  Labels are local;
+cross-function calls become relocations resolved by the linker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.bits import to_unsigned
+from repro.x86.registers import SEG_DS, SEG_FS, SEG_GS
+
+_SEG_PREFIX = {SEG_FS: 0x64, SEG_GS: 0x65}
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``disp(base, index, scale)``."""
+
+    base: int = -1
+    index: int = -1
+    scale: int = 1
+    disp: int = 0
+    seg: int = SEG_DS
+
+
+@dataclass
+class Reloc:
+    """An unresolved reference to an external symbol."""
+
+    offset: int           # where the 32-bit field sits in the code
+    symbol: str
+    kind: str             # "rel32" (call/jmp) or "abs32"
+
+
+class AssemblerError(Exception):
+    pass
+
+
+ALU_CODES = {"add": 0, "or": 1, "adc": 2, "sbb": 3,
+             "and": 4, "sub": 5, "xor": 6, "cmp": 7}
+
+COND_CODES = {"o": 0, "no": 1, "b": 2, "ae": 3, "e": 4, "ne": 5,
+              "be": 6, "a": 7, "s": 8, "ns": 9, "p": 10, "np": 11,
+              "l": 12, "ge": 13, "le": 14, "g": 15}
+
+
+class X86Assembler:
+    """Accumulates encoded instructions plus labels and relocations."""
+
+    def __init__(self) -> None:
+        self.code = bytearray()
+        self.labels: Dict[str, int] = {}
+        self._label_fixups: List[Tuple[int, str, int]] = []  # off, lbl, size
+        self.relocs: List[Reloc] = []
+        #: byte offset of each emitted instruction (for injection maps)
+        self.insn_offsets: List[int] = []
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _start(self) -> None:
+        self.insn_offsets.append(len(self.code))
+
+    def emit(self, *values: int) -> None:
+        self.code.extend(values)
+
+    def emit32(self, value: int) -> None:
+        self.code.extend(to_unsigned(value).to_bytes(4, "little"))
+
+    def emit16(self, value: int) -> None:
+        self.code.extend((value & 0xFFFF).to_bytes(2, "little"))
+
+    def label(self, name: str) -> None:
+        if name in self.labels:
+            raise AssemblerError(f"duplicate label {name}")
+        self.labels[name] = len(self.code)
+
+    def new_label(self, hint: str = "L") -> str:
+        return f".{hint}{len(self._label_fixups)}_{len(self.code)}"
+
+    def _modrm(self, reg: int, rm: "int | Mem") -> None:
+        """Emit ModRM (+SIB +disp) addressing *rm* with /reg field *reg*."""
+        if isinstance(rm, int):
+            self.emit(0xC0 | (reg << 3) | rm)
+            return
+        mem = rm
+        if mem.seg in _SEG_PREFIX:
+            # segment prefixes must precede the opcode; callers that use
+            # FS/GS go through _seg() before encoding the opcode.
+            raise AssemblerError("segment prefix must be emitted first")
+        if mem.base < 0 and mem.index < 0:
+            # absolute: mod=00 rm=101 disp32
+            self.emit((reg << 3) | 5)
+            self.emit32(mem.disp)
+            return
+        disp = mem.disp & 0xFFFFFFFF
+        signed = disp - (1 << 32) if disp & 0x80000000 else disp
+        if mem.base < 0:
+            # index without base: SIB with base=101, mod=00, disp32
+            self.emit((reg << 3) | 4)
+            scale = {1: 0, 2: 1, 4: 2, 8: 3}[mem.scale]
+            self.emit((scale << 6) | (mem.index << 3) | 5)
+            self.emit32(disp)
+            return
+        if disp == 0 and mem.base != 5:
+            mod = 0
+        elif -128 <= signed <= 127:
+            mod = 1
+        else:
+            mod = 2
+        if mem.index >= 0 or mem.base == 4:
+            self.emit((mod << 6) | (reg << 3) | 4)
+            index = mem.index if mem.index >= 0 else 4
+            scale = {1: 0, 2: 1, 4: 2, 8: 3}[mem.scale]
+            self.emit((scale << 6) | (index << 3) | mem.base)
+        else:
+            self.emit((mod << 6) | (reg << 3) | mem.base)
+        if mod == 1:
+            self.emit(signed & 0xFF)
+        elif mod == 2:
+            self.emit32(disp)
+
+    def _seg(self, mem: "int | Mem") -> "int | Mem":
+        """Emit a segment prefix if the operand needs one."""
+        if isinstance(mem, Mem) and mem.seg in _SEG_PREFIX:
+            self.emit(_SEG_PREFIX[mem.seg])
+            return Mem(mem.base, mem.index, mem.scale, mem.disp, SEG_DS)
+        return mem
+
+    # -- data movement ------------------------------------------------------
+
+    def mov_r_imm(self, reg: int, imm: int) -> None:
+        self._start()
+        self.emit(0xB8 + reg)
+        self.emit32(imm)
+
+    def mov_r_imm_sym(self, reg: int, symbol: str) -> None:
+        """mov reg, &symbol — resolved at link time."""
+        self._start()
+        self.emit(0xB8 + reg)
+        self.relocs.append(Reloc(len(self.code), symbol, "abs32"))
+        self.emit32(0)
+
+    def mov_r_rm(self, reg: int, rm: "int | Mem", width: int = 4) -> None:
+        self._start()
+        rm = self._seg(rm)
+        if width == 2:
+            self.emit(0x66)
+        self.emit(0x8A if width == 1 else 0x8B)
+        self._modrm(reg, rm)
+
+    def mov_rm_r(self, rm: "int | Mem", reg: int, width: int = 4) -> None:
+        self._start()
+        rm = self._seg(rm)
+        if width == 2:
+            self.emit(0x66)
+        self.emit(0x88 if width == 1 else 0x89)
+        self._modrm(reg, rm)
+
+    def mov_rm_imm(self, rm: "int | Mem", imm: int, width: int = 4) -> None:
+        self._start()
+        rm = self._seg(rm)
+        if width == 2:
+            self.emit(0x66)
+        self.emit(0xC6 if width == 1 else 0xC7)
+        self._modrm(0, rm)
+        if width == 1:
+            self.emit(imm & 0xFF)
+        elif width == 2:
+            self.emit16(imm)
+        else:
+            self.emit32(imm)
+
+    def movzx(self, reg: int, rm: "int | Mem", src_width: int) -> None:
+        self._start()
+        rm = self._seg(rm)
+        self.emit(0x0F, 0xB6 if src_width == 1 else 0xB7)
+        self._modrm(reg, rm)
+
+    def movsx(self, reg: int, rm: "int | Mem", src_width: int) -> None:
+        self._start()
+        rm = self._seg(rm)
+        self.emit(0x0F, 0xBE if src_width == 1 else 0xBF)
+        self._modrm(reg, rm)
+
+    def lea(self, reg: int, mem: Mem) -> None:
+        self._start()
+        self.emit(0x8D)
+        self._modrm(reg, mem)
+
+    def xchg_r_rm(self, reg: int, rm: "int | Mem") -> None:
+        self._start()
+        self.emit(0x87)
+        self._modrm(reg, rm)
+
+    # -- ALU -----------------------------------------------------------------
+
+    def alu_r_rm(self, op: str, reg: int, rm: "int | Mem",
+                 width: int = 4) -> None:
+        self._start()
+        rm = self._seg(rm)
+        if width == 2:
+            self.emit(0x66)
+        base = ALU_CODES[op] << 3
+        self.emit(base + (0x02 if width == 1 else 0x03))
+        self._modrm(reg, rm)
+
+    def alu_rm_r(self, op: str, rm: "int | Mem", reg: int,
+                 width: int = 4) -> None:
+        self._start()
+        rm = self._seg(rm)
+        if width == 2:
+            self.emit(0x66)
+        base = ALU_CODES[op] << 3
+        self.emit(base + (0x00 if width == 1 else 0x01))
+        self._modrm(reg, rm)
+
+    def alu_rm_imm(self, op: str, rm: "int | Mem", imm: int,
+                   width: int = 4) -> None:
+        self._start()
+        rm = self._seg(rm)
+        if width == 2:
+            self.emit(0x66)
+        signed = imm - (1 << 32) if imm & 0x80000000 else imm
+        if width == 1:
+            self.emit(0x80)
+            self._modrm(ALU_CODES[op], rm)
+            self.emit(imm & 0xFF)
+        elif -128 <= signed <= 127:
+            self.emit(0x83)
+            self._modrm(ALU_CODES[op], rm)
+            self.emit(imm & 0xFF)
+        else:
+            self.emit(0x81)
+            self._modrm(ALU_CODES[op], rm)
+            if width == 2:
+                self.emit16(imm)
+            else:
+                self.emit32(imm)
+
+    def test_rm_r(self, rm: "int | Mem", reg: int, width: int = 4) -> None:
+        self._start()
+        rm = self._seg(rm)
+        if width == 2:
+            self.emit(0x66)
+        self.emit(0x84 if width == 1 else 0x85)
+        self._modrm(reg, rm)
+
+    def imul_r_rm(self, reg: int, rm: "int | Mem") -> None:
+        self._start()
+        self.emit(0x0F, 0xAF)
+        self._modrm(reg, rm)
+
+    def imul_r_rm_imm(self, reg: int, rm: "int | Mem", imm: int) -> None:
+        self._start()
+        self.emit(0x69)
+        self._modrm(reg, rm)
+        self.emit32(imm)
+
+    def div_rm(self, rm: "int | Mem") -> None:
+        self._start()
+        self.emit(0xF7)
+        self._modrm(6, rm)
+
+    def idiv_rm(self, rm: "int | Mem") -> None:
+        self._start()
+        self.emit(0xF7)
+        self._modrm(7, rm)
+
+    def neg_rm(self, rm: "int | Mem") -> None:
+        self._start()
+        self.emit(0xF7)
+        self._modrm(3, rm)
+
+    def not_rm(self, rm: "int | Mem") -> None:
+        self._start()
+        self.emit(0xF7)
+        self._modrm(2, rm)
+
+    def shift_rm_imm(self, op: str, rm: "int | Mem", count: int) -> None:
+        self._start()
+        codes = {"rol": 0, "ror": 1, "shl": 4, "shr": 5, "sar": 7}
+        if count == 1:
+            self.emit(0xD1)
+            self._modrm(codes[op], rm)
+        else:
+            self.emit(0xC1)
+            self._modrm(codes[op], rm)
+            self.emit(count & 0x1F)
+
+    def shift_rm_cl(self, op: str, rm: "int | Mem") -> None:
+        self._start()
+        codes = {"rol": 0, "ror": 1, "shl": 4, "shr": 5, "sar": 7}
+        self.emit(0xD3)
+        self._modrm(codes[op], rm)
+
+    def inc_r(self, reg: int) -> None:
+        self._start()
+        self.emit(0x40 + reg)
+
+    def dec_r(self, reg: int) -> None:
+        self._start()
+        self.emit(0x48 + reg)
+
+    def cdq(self) -> None:
+        self._start()
+        self.emit(0x99)
+
+    # -- stack ---------------------------------------------------------------
+
+    def push_r(self, reg: int) -> None:
+        self._start()
+        self.emit(0x50 + reg)
+
+    def pop_r(self, reg: int) -> None:
+        self._start()
+        self.emit(0x58 + reg)
+
+    def push_imm(self, imm: int) -> None:
+        self._start()
+        signed = imm - (1 << 32) if imm & 0x80000000 else imm
+        if -128 <= signed <= 127:
+            self.emit(0x6A, imm & 0xFF)
+        else:
+            self.emit(0x68)
+            self.emit32(imm)
+
+    def push_rm(self, rm: "int | Mem") -> None:
+        self._start()
+        rm = self._seg(rm)
+        self.emit(0xFF)
+        self._modrm(6, rm)
+
+    # -- control flow ---------------------------------------------------------
+
+    def call_sym(self, symbol: str) -> None:
+        self._start()
+        self.emit(0xE8)
+        self.relocs.append(Reloc(len(self.code), symbol, "rel32"))
+        self.emit32(0)
+
+    def call_rm(self, rm: "int | Mem") -> None:
+        self._start()
+        self.emit(0xFF)
+        self._modrm(2, rm)
+
+    def jmp_label(self, label: str) -> None:
+        self._start()
+        self.emit(0xE9)
+        self._label_fixups.append((len(self.code), label, 4))
+        self.emit32(0)
+
+    def jcc_label(self, cond: str, label: str) -> None:
+        self._start()
+        self.emit(0x0F, 0x80 + COND_CODES[cond])
+        self._label_fixups.append((len(self.code), label, 4))
+        self.emit32(0)
+
+    def ret(self) -> None:
+        self._start()
+        self.emit(0xC3)
+
+    def nop(self) -> None:
+        self._start()
+        self.emit(0x90)
+
+    def ud2a(self) -> None:
+        self._start()
+        self.emit(0x0F, 0x0B)
+
+    def int_n(self, vector: int) -> None:
+        self._start()
+        self.emit(0xCD, vector & 0xFF)
+
+    def hlt(self) -> None:
+        self._start()
+        self.emit(0xF4)
+
+    # -- finalization -----------------------------------------------------------
+
+    def finish(self) -> bytes:
+        """Resolve local label fixups; relocations stay for the linker."""
+        for offset, label, size in self._label_fixups:
+            if label not in self.labels:
+                raise AssemblerError(f"undefined label {label}")
+            rel = self.labels[label] - (offset + size)
+            self.code[offset:offset + size] = \
+                to_unsigned(rel).to_bytes(size, "little")
+        self._label_fixups.clear()
+        return bytes(self.code)

@@ -1,0 +1,108 @@
+"""Register numbering, flag bits, and the P4 system-register catalogue.
+
+The system-register catalogue drives the register-injection campaign:
+the paper targets "system registers that assist in initializing the
+processor and controlling system operations" — the system bits of
+EFLAGS, the control registers, debug registers, the stack pointer, the
+FS/GS segment registers, and the memory-management registers (GDTR,
+IDTR, LDTR, TR).  Out of roughly 20 targets only about 7 ever produce a
+crash in the paper's experiments; the rest absorb bit flips silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+# General-purpose register numbers (IA-32 encoding order).
+EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI = range(8)
+
+GPR_NAMES = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+GPR8_NAMES = ("al", "cl", "dl", "bl", "ah", "ch", "dh", "bh")
+GPR16_NAMES = ("ax", "cx", "dx", "bx", "sp", "bp", "si", "di")
+
+# Segment register numbers (IA-32 sreg encoding).
+SEG_ES, SEG_CS, SEG_SS, SEG_DS, SEG_FS, SEG_GS = range(6)
+SEGMENT_NAMES = ("es", "cs", "ss", "ds", "fs", "gs")
+
+# EFLAGS bits.
+FLAG_CF = 0x0001
+FLAG_PF = 0x0004
+FLAG_AF = 0x0010
+FLAG_ZF = 0x0040
+FLAG_SF = 0x0080
+FLAG_TF = 0x0100
+FLAG_IF = 0x0200
+FLAG_DF = 0x0400
+FLAG_OF = 0x0800
+FLAG_IOPL = 0x3000
+FLAG_NT = 0x4000       # nested task -- the paper's Invalid TSS trigger
+FLAG_AC = 0x40000
+
+#: EFLAGS bits with system (not arithmetic) meaning; register-injection
+#: campaigns flip only these, per the paper ("system flags only").
+SYSTEM_FLAG_BITS = (8, 9, 10, 12, 13, 14, 18)   # TF IF DF IOPL0 IOPL1 NT AC
+
+# CR0 bits.
+CR0_PE = 0x00000001     # protected mode enable
+CR0_MP = 0x00000002
+CR0_EM = 0x00000004
+CR0_TS = 0x00000008
+CR0_NE = 0x00000020
+CR0_WP = 0x00010000     # write-protect kernel text
+CR0_AM = 0x00040000
+CR0_NW = 0x20000000
+CR0_CD = 0x40000000
+CR0_PG = 0x80000000     # paging enable
+
+#: Selectors our flat GDT model accepts.  Anything else loaded into a
+#: segment register raises #GP at load time (paper Section 5.2: FS/GS
+#: corruption surfaces as General Protection).
+VALID_SELECTORS = frozenset({
+    0x00,               # null selector is loadable into FS/GS
+    0x10, 0x18,         # kernel code / kernel data+stack
+    0x23, 0x2B,         # user code / user data
+    0x33, 0x3B,         # per-task TLS-style FS / GS selectors
+})
+
+
+@dataclass(frozen=True)
+class SystemRegister:
+    """One injectable system register.
+
+    ``attr`` names the attribute on :class:`repro.x86.cpu.X86CPU` holding
+    the value; ``bits`` is the architectural width the injector may flip
+    within.
+    """
+
+    name: str
+    attr: str
+    bits: int
+    description: str = ""
+
+
+#: The P4 register-injection target list (~20 registers, as in the
+#: paper).  The attribute names must exist on ``X86CPU``.
+P4_SYSTEM_REGISTERS: Tuple[SystemRegister, ...] = (
+    SystemRegister("EFLAGS", "eflags", 32, "system flags (NT, IF, ...)"),
+    SystemRegister("CR0", "cr0", 32, "operating mode control"),
+    SystemRegister("CR2", "cr2", 32, "page-fault linear address"),
+    SystemRegister("CR3", "cr3", 32, "page directory base"),
+    SystemRegister("CR4", "cr4", 32, "architecture extensions"),
+    SystemRegister("DR0", "dr0", 32, "debug address register 0"),
+    SystemRegister("DR1", "dr1", 32, "debug address register 1"),
+    SystemRegister("DR2", "dr2", 32, "debug address register 2"),
+    SystemRegister("DR3", "dr3", 32, "debug address register 3"),
+    SystemRegister("DR6", "dr6", 32, "debug status"),
+    SystemRegister("DR7", "dr7", 32, "debug control"),
+    SystemRegister("ESP", "esp_alias", 32, "kernel stack pointer"),
+    SystemRegister("EIP", "eip", 32, "instruction pointer"),
+    SystemRegister("FS", "fs", 16, "segment register (per-task state)"),
+    SystemRegister("GS", "gs", 16, "segment register (per-task state)"),
+    SystemRegister("GDTR_BASE", "gdtr_base", 32, "GDT base address"),
+    SystemRegister("GDTR_LIMIT", "gdtr_limit", 16, "GDT limit"),
+    SystemRegister("IDTR_BASE", "idtr_base", 32, "IDT base address"),
+    SystemRegister("IDTR_LIMIT", "idtr_limit", 16, "IDT limit"),
+    SystemRegister("LDTR", "ldtr", 16, "local descriptor table selector"),
+    SystemRegister("TR", "tr", 16, "task register (TSS selector)"),
+)

@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+The expensive artifacts (kernel images, booted machines, clean-run
+probes, small campaign batteries) are session-scoped: building the
+kernel takes ~1 s and booting a machine ~0.5 s, so tests share them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.campaign import CampaignContext
+from repro.kernel.build import build_kernel, kernel_program
+from repro.machine.machine import Machine
+
+
+@pytest.fixture(scope="session")
+def kernel_program_fixture():
+    return kernel_program()
+
+
+@pytest.fixture(scope="session")
+def x86_image():
+    return build_kernel("x86")
+
+
+@pytest.fixture(scope="session")
+def ppc_image():
+    return build_kernel("ppc")
+
+
+@pytest.fixture(scope="session")
+def x86_context() -> CampaignContext:
+    return CampaignContext.get("x86", seed=0, ops=36)
+
+
+@pytest.fixture(scope="session")
+def ppc_context() -> CampaignContext:
+    return CampaignContext.get("ppc", seed=0, ops=36)
+
+
+def _booted(arch: str) -> Machine:
+    machine = Machine(arch)
+    machine.boot()
+    return machine
+
+
+@pytest.fixture(scope="session")
+def booted_x86() -> Machine:
+    return _booted("x86")
+
+
+@pytest.fixture(scope="session")
+def booted_ppc() -> Machine:
+    return _booted("ppc")
+
+
+@pytest.fixture()
+def fresh_x86(booted_x86) -> Machine:
+    """A pristine fork per test (cheap)."""
+    return booted_x86.fork()
+
+
+@pytest.fixture()
+def fresh_ppc(booted_ppc) -> Machine:
+    return booted_ppc.fork()

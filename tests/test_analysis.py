@@ -1,0 +1,177 @@
+"""Analysis tests: tables, latency buckets, figures, comparisons."""
+
+import pytest
+
+from repro.analysis.compare import (
+    PAPER_TABLE5_P4, PAPER_TABLE6_G4, paper_table,
+    render_figure_comparison, render_table_comparison,
+)
+from repro.analysis.figures import (
+    crash_cause_distribution, crash_cause_percentages,
+    render_distribution,
+)
+from repro.analysis.latency import (
+    BUCKET_LABELS, bucket_of, cumulative_percent_below,
+    latency_histogram, latency_percentages,
+)
+from repro.analysis.tables import build_row, build_table, render_table
+from repro.injection.outcomes import (
+    CampaignKind, CrashCauseG4, CrashCauseP4, InjectionResult, Outcome,
+)
+
+
+def make_result(outcome, cause=None, activation=None, crash=None,
+                kind=CampaignKind.STACK, arch="x86"):
+    return InjectionResult(arch=arch, kind=kind, target=None,
+                           outcome=outcome, cause=cause,
+                           activation_cycles=activation,
+                           crash_cycles=crash)
+
+
+class TestLatencyBuckets:
+    def test_bucket_boundaries(self):
+        assert bucket_of(0) == "3k"
+        assert bucket_of(3_000) == "3k"
+        assert bucket_of(3_001) == "10k"
+        assert bucket_of(99_999) == "100k"
+        assert bucket_of(10 ** 9) == "1G"
+        assert bucket_of(10 ** 9 + 1) == ">1G"
+
+    def test_histogram_counts_only_crashes(self):
+        results = [
+            make_result(Outcome.CRASH_KNOWN, activation=0, crash=100),
+            make_result(Outcome.CRASH_UNKNOWN, activation=0,
+                        crash=50_000),
+            make_result(Outcome.NOT_MANIFESTED, activation=0),
+            make_result(Outcome.HANG, activation=0),
+        ]
+        histogram = latency_histogram(results)
+        assert histogram["3k"] == 1
+        assert histogram["100k"] == 1
+        assert sum(histogram.values()) == 2
+
+    def test_percentages_sum_to_100(self):
+        results = [make_result(Outcome.CRASH_KNOWN, activation=0,
+                               crash=10 ** k) for k in range(2, 9)]
+        percentages = latency_percentages(results)
+        assert abs(sum(percentages.values()) - 100.0) < 1e-9
+
+    def test_cumulative(self):
+        results = [make_result(Outcome.CRASH_KNOWN, activation=0,
+                               crash=c) for c in (100, 2000, 50_000)]
+        assert cumulative_percent_below(results, 3000) == \
+            pytest.approx(66.666, abs=0.01)
+
+    def test_latency_clamps_negative(self):
+        result = make_result(Outcome.CRASH_KNOWN, activation=500,
+                             crash=100)
+        assert result.latency == 0
+
+
+class TestTableBuilder:
+    def _results(self):
+        return [
+            make_result(Outcome.NOT_ACTIVATED),
+            make_result(Outcome.NOT_ACTIVATED),
+            make_result(Outcome.NOT_MANIFESTED),
+            make_result(Outcome.FAIL_SILENCE_VIOLATION),
+            make_result(Outcome.CRASH_KNOWN,
+                        cause=CrashCauseP4.BAD_PAGING),
+            make_result(Outcome.CRASH_UNKNOWN),
+            make_result(Outcome.HANG),
+            make_result(Outcome.NOT_MANIFESTED),
+        ]
+
+    def test_row_counts(self):
+        row = build_row(CampaignKind.STACK, self._results())
+        assert row.injected == 8
+        assert row.activated == 6
+        assert row.not_manifested == 2
+        assert row.fsv == 1
+        assert row.crash_known == 1
+        assert row.hang_unknown == 2      # hang + unknown crash
+
+    def test_percentages_relative_to_activated(self):
+        row = build_row(CampaignKind.STACK, self._results())
+        assert row.activation_pct == pytest.approx(75.0)
+        assert row.pct(row.crash_known) == pytest.approx(100 / 6)
+        assert row.manifested_pct == pytest.approx(400 / 6)
+
+    def test_register_rows_use_injected_denominator(self):
+        row = build_row(CampaignKind.REGISTER, self._results())
+        assert row.activated is None
+        assert row.denominator == 8
+        assert row.activation_pct is None
+
+    def test_table_order_and_render(self):
+        table = build_table({
+            CampaignKind.CODE: self._results(),
+            CampaignKind.STACK: self._results(),
+            CampaignKind.REGISTER: self._results(),
+            CampaignKind.DATA: self._results(),
+        })
+        assert [row.kind for row in table] == [
+            CampaignKind.STACK, CampaignKind.REGISTER,
+            CampaignKind.DATA, CampaignKind.CODE]
+        text = render_table(table, "Pentium 4")
+        assert "Stack" in text and "System Registers" in text
+        assert "N/A" in text              # register activation
+
+
+class TestFigures:
+    def test_distribution_counts_known_only(self):
+        results = [
+            make_result(Outcome.CRASH_KNOWN,
+                        cause=CrashCauseG4.BAD_AREA, arch="ppc"),
+            make_result(Outcome.CRASH_KNOWN,
+                        cause=CrashCauseG4.BAD_AREA, arch="ppc"),
+            make_result(Outcome.CRASH_KNOWN,
+                        cause=CrashCauseG4.STACK_OVERFLOW, arch="ppc"),
+            make_result(Outcome.CRASH_UNKNOWN, arch="ppc"),
+        ]
+        counts = crash_cause_distribution(results)
+        assert counts[CrashCauseG4.BAD_AREA] == 2
+        percentages = crash_cause_percentages(results)
+        assert percentages[CrashCauseG4.BAD_AREA] == pytest.approx(
+            200 / 3)
+        text = render_distribution(results, "test", "ppc")
+        assert "Bad Area" in text
+        assert "(Total 3)" in text
+
+    def test_empty_distribution(self):
+        assert crash_cause_percentages([]) == {}
+        assert "(no known crashes)" in render_distribution([], "t",
+                                                           "x86")
+
+
+class TestPaperReference:
+    def test_tables_complete(self):
+        for table in (PAPER_TABLE5_P4, PAPER_TABLE6_G4):
+            assert set(table) == {
+                CampaignKind.STACK, CampaignKind.REGISTER,
+                CampaignKind.DATA, CampaignKind.CODE}
+
+    def test_headline_numbers(self):
+        assert PAPER_TABLE5_P4[CampaignKind.STACK].manifested_pct == \
+            pytest.approx(56.1)
+        assert PAPER_TABLE6_G4[CampaignKind.STACK].manifested_pct == \
+            pytest.approx(21.3)
+        assert PAPER_TABLE5_P4[CampaignKind.DATA].activation_pct == 0.5
+        assert PAPER_TABLE6_G4[CampaignKind.DATA].activation_pct == 1.5
+
+    def test_paper_table_lookup(self):
+        assert paper_table("x86") is PAPER_TABLE5_P4
+        assert paper_table("ppc") is PAPER_TABLE6_G4
+
+    def test_render_comparisons(self):
+        rows = [build_row(CampaignKind.STACK, [
+            make_result(Outcome.CRASH_KNOWN,
+                        cause=CrashCauseP4.BAD_PAGING, activation=0,
+                        crash=100)])]
+        text = render_table_comparison(rows, "x86")
+        assert "paper" in text and "measured" in text
+        figure_text = render_figure_comparison(
+            [make_result(Outcome.CRASH_KNOWN,
+                         cause=CrashCauseP4.BAD_PAGING)],
+            6, "x86", "stack")
+        assert "Bad Paging" in figure_text

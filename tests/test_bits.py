@@ -1,0 +1,91 @@
+"""Unit + property tests for repro.isa.bits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.bits import (
+    MASK32, bit_flip, byte_of, extract_bits, mask_for_width, rotl32,
+    sign_extend, to_signed, to_unsigned,
+)
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+
+
+class TestBitFlip:
+    def test_flips_named_bit(self):
+        assert bit_flip(0, 0) == 1
+        assert bit_flip(0, 31) == 0x80000000
+        assert bit_flip(0xFF, 3) == 0xF7
+
+    def test_width_bound(self):
+        with pytest.raises(ValueError):
+            bit_flip(0, 32)
+        with pytest.raises(ValueError):
+            bit_flip(0, -1)
+        assert bit_flip(0, 15, width_bits=16) == 0x8000
+
+    @given(u32, st.integers(min_value=0, max_value=31))
+    def test_involution(self, value, bit):
+        assert bit_flip(bit_flip(value, bit), bit) == value
+
+    @given(u32, st.integers(min_value=0, max_value=31))
+    def test_changes_exactly_one_bit(self, value, bit):
+        flipped = bit_flip(value, bit)
+        assert bin(flipped ^ value).count("1") == 1
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7F, 8) == 0x7F
+        assert sign_extend(0x7FFF, 16) == 0x7FFF
+
+    def test_negative(self):
+        assert sign_extend(0x80, 8) == 0xFFFFFF80
+        assert sign_extend(0xFFFF, 16) == MASK32
+
+    @given(u32)
+    def test_idempotent_at_32(self, value):
+        assert sign_extend(value, 32) == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_roundtrip_via_signed(self, value):
+        extended = sign_extend(value, 16)
+        assert to_signed(extended) == to_signed(value, 16)
+
+
+class TestSignedConversions:
+    @given(u32)
+    def test_roundtrip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    def test_boundaries(self):
+        assert to_signed(0x80000000) == -(1 << 31)
+        assert to_signed(0x7FFFFFFF) == (1 << 31) - 1
+        assert to_unsigned(-1) == MASK32
+
+
+class TestMisc:
+    def test_mask_for_width(self):
+        assert mask_for_width(1) == 0xFF
+        assert mask_for_width(2) == 0xFFFF
+        assert mask_for_width(4) == MASK32
+        with pytest.raises(ValueError):
+            mask_for_width(3)
+
+    @given(u32, st.integers(min_value=0, max_value=63))
+    def test_rotl_preserves_popcount(self, value, amount):
+        assert bin(rotl32(value, amount)).count("1") == \
+            bin(value).count("1")
+
+    def test_rotl_known(self):
+        assert rotl32(0x80000001, 1) == 0x00000003
+
+    def test_extract_bits(self):
+        assert extract_bits(0xDEADBEEF, 31, 24) == 0xDE
+        assert extract_bits(0xDEADBEEF, 7, 0) == 0xEF
+        with pytest.raises(ValueError):
+            extract_bits(0, 0, 1)
+
+    def test_byte_of(self):
+        assert byte_of(0x12345678, 0) == 0x78
+        assert byte_of(0x12345678, 3) == 0x12

@@ -1,0 +1,112 @@
+"""Crash-cause classification tests (Tables 3 and 4)."""
+
+import pytest
+
+from repro.analysis.classify import classify_crash
+from repro.injection.outcomes import CrashCauseG4, CrashCauseP4
+from repro.machine.events import CrashReport
+from repro.ppc.exceptions import DSISR_PROTECTION, PPCVector
+from repro.x86.exceptions import X86Vector
+
+
+def x86_report(vector, address=None, panic=False, registers=None,
+               stack_oor=False):
+    return CrashReport(arch="x86", vector=vector, address=address,
+                       detail="", pc=0xC0100000, cycles_at_crash=1,
+                       instret_at_crash=1, registers=registers or {},
+                       panic=panic, stack_out_of_range=stack_oor)
+
+
+def g4_report(vector, address=None, panic=False, registers=None,
+              stack_oor=False):
+    return CrashReport(arch="ppc", vector=vector, address=address,
+                       detail="", pc=0xC0100000, cycles_at_crash=1,
+                       instret_at_crash=1, registers=registers or {},
+                       panic=panic, stack_out_of_range=stack_oor)
+
+
+class TestP4Classification:
+    def test_null_pointer(self):
+        report = x86_report(X86Vector.PAGE_FAULT, address=0x8)
+        assert classify_crash(report) is CrashCauseP4.NULL_POINTER
+
+    def test_bad_paging(self):
+        report = x86_report(X86Vector.PAGE_FAULT, address=0x170FC2A5)
+        assert classify_crash(report) is CrashCauseP4.BAD_PAGING
+
+    def test_null_boundary(self):
+        assert classify_crash(
+            x86_report(X86Vector.PAGE_FAULT, address=0xFFF)) is \
+            CrashCauseP4.NULL_POINTER
+        assert classify_crash(
+            x86_report(X86Vector.PAGE_FAULT, address=0x1000)) is \
+            CrashCauseP4.BAD_PAGING
+
+    def test_invalid_instruction(self):
+        assert classify_crash(x86_report(X86Vector.INVALID_OPCODE)) is \
+            CrashCauseP4.INVALID_INSTRUCTION
+
+    def test_gp_tss_de_br(self):
+        assert classify_crash(
+            x86_report(X86Vector.GENERAL_PROTECTION)) is \
+            CrashCauseP4.GENERAL_PROTECTION
+        assert classify_crash(x86_report(X86Vector.INVALID_TSS)) is \
+            CrashCauseP4.INVALID_TSS
+        assert classify_crash(x86_report(X86Vector.DIVIDE_ERROR)) is \
+            CrashCauseP4.DIVIDE_ERROR
+        assert classify_crash(x86_report(X86Vector.BOUNDS)) is \
+            CrashCauseP4.BOUNDS_TRAP
+
+    def test_panic_overrides_vector(self):
+        """__panic sets panic_code then traps; the classifier must
+        report Kernel Panic, not Invalid Instruction."""
+        report = x86_report(X86Vector.INVALID_OPCODE, panic=True)
+        assert classify_crash(report) is CrashCauseP4.KERNEL_PANIC
+
+    def test_bug_without_panic_is_invalid_instruction(self):
+        """Figure 13: spinlock-magic BUG checks surface as Invalid
+        Instruction (ud2a), masking the data-error origin."""
+        report = x86_report(X86Vector.INVALID_OPCODE, panic=False)
+        assert classify_crash(report) is \
+            CrashCauseP4.INVALID_INSTRUCTION
+
+
+class TestG4Classification:
+    def test_bad_area(self):
+        report = g4_report(PPCVector.DSI, address=0x4D)
+        assert classify_crash(report) is CrashCauseG4.BAD_AREA
+
+    def test_bus_error_is_protection_dsi(self):
+        report = g4_report(PPCVector.DSI, address=0xC0100000,
+                           registers={"dsisr": DSISR_PROTECTION})
+        assert classify_crash(report) is CrashCauseG4.BUS_ERROR
+
+    def test_isi_is_bad_area(self):
+        """Linux/PPC oopses ISI through do_page_fault: 'kernel access
+        of bad area'."""
+        report = g4_report(PPCVector.ISI, address=0xDEAD0000)
+        assert classify_crash(report) is CrashCauseG4.BAD_AREA
+
+    def test_program_is_illegal_instruction(self):
+        assert classify_crash(g4_report(PPCVector.PROGRAM)) is \
+            CrashCauseG4.ILLEGAL_INSTRUCTION
+
+    def test_stack_overflow_wrapper_takes_precedence(self):
+        """The exception-entry wrapper fires before the handler: even a
+        DSI becomes Stack Overflow when r1 is out of range."""
+        report = g4_report(PPCVector.DSI, address=0x4D, stack_oor=True)
+        assert classify_crash(report) is CrashCauseG4.STACK_OVERFLOW
+
+    def test_machine_check_and_alignment(self):
+        assert classify_crash(g4_report(PPCVector.MACHINE_CHECK)) is \
+            CrashCauseG4.MACHINE_CHECK
+        assert classify_crash(g4_report(PPCVector.ALIGNMENT)) is \
+            CrashCauseG4.ALIGNMENT
+
+    def test_panic(self):
+        report = g4_report(PPCVector.PROGRAM, panic=True)
+        assert classify_crash(report) is CrashCauseG4.PANIC
+
+    def test_unknown_vector_is_bad_trap(self):
+        report = g4_report(PPCVector.DECREMENTER)
+        assert classify_crash(report) is CrashCauseG4.BAD_TRAP

@@ -1,0 +1,59 @@
+"""CLI (python -m repro) tests."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_args(self):
+        args = build_parser().parse_args(
+            ["campaign", "--kind", "stack", "-n", "25",
+             "--arch", "ppc", "--seed", "3"])
+        assert args.kind == "stack"
+        assert args.count == 25
+        assert args.arch == "ppc"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--kind", "bogus"])
+
+
+class TestCommands:
+    def test_disasm(self, capsys):
+        assert main(["disasm", "kupdate", "--arch", "ppc"]) == 0
+        out = capsys.readouterr().out
+        assert "kupdate [fs]" in out
+        assert "stwu r1," in out
+
+    def test_disasm_unknown_function(self, capsys):
+        assert main(["disasm", "not_a_fn"]) == 1
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--arch", "ppc", "--ops", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "memcpy" in out
+
+    def test_campaign_with_json(self, tmp_path, capsys):
+        out_path = str(tmp_path / "r.jsonl")
+        assert main(["campaign", "--kind", "data", "-n", "30",
+                     "--arch", "ppc", "--ops", "36",
+                     "--json", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "Data" in out
+        from repro.analysis.export import load_results
+        assert len(load_results(out_path)) == 30
+
+    def test_subprocess_entry(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0
+        assert "study" in proc.stdout

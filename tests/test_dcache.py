@@ -1,0 +1,87 @@
+"""Dentry cache / path lookup tests."""
+
+import pytest
+
+from repro.kernel.abi import EINVAL, Syscall
+from repro.machine.events import KernelCrash
+
+
+def open_path(machine, task, name: bytes) -> int:
+    machine.write_user(task, 0x600, name)
+    return machine.syscall(Syscall.OPEN_PATH, task.user_buf + 0x600,
+                           len(name))
+
+
+@pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+class TestPathLookup:
+    def test_same_name_same_inode(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(3)
+        task = machine.tasks[3]
+        fd1 = open_path(machine, task, b"etc/passwd")
+        ino_field = machine.image.field("file_struct", "f_ino")
+        files = machine.image.globals["files"]
+        little = machine.image.little_endian
+        ino1 = machine.cpu.mem.read_u32(
+            files.addr + fd1 * files.elem_size + ino_field.offset,
+            little)
+        machine.syscall(Syscall.CLOSE, fd1)
+        fd2 = open_path(machine, task, b"etc/passwd")
+        ino2 = machine.cpu.mem.read_u32(
+            files.addr + fd2 * files.elem_size + ino_field.offset,
+            little)
+        assert ino1 == ino2
+
+    def test_cache_hit_on_reopen(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(3)
+        task = machine.tasks[3]
+        fd = open_path(machine, task, b"var/log.txt")
+        machine.syscall(Syscall.CLOSE, fd)
+        misses = machine.read_global("dcache_misses")
+        fd = open_path(machine, task, b"var/log.txt")
+        machine.syscall(Syscall.CLOSE, fd)
+        assert machine.read_global("dcache_misses") == misses
+        assert machine.read_global("dcache_hits") >= 1
+
+    def test_different_names_can_differ(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(3)
+        task = machine.tasks[3]
+        for name in (b"a", b"bb", b"ccc", b"dddd"):
+            fd = open_path(machine, task, name)
+            assert fd < 0x80000000
+            machine.syscall(Syscall.CLOSE, fd)
+        assert machine.read_global("dentries_used") >= 4
+
+    def test_invalid_lengths(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(3)
+        task = machine.tasks[3]
+        machine.write_user(task, 0x600, b"x" * 16)
+        assert machine.syscall(Syscall.OPEN_PATH,
+                               task.user_buf + 0x600, 0) == EINVAL
+        assert machine.syscall(Syscall.OPEN_PATH,
+                               task.user_buf + 0x600, 16) == EINVAL
+
+    def test_corrupted_chain_pointer_crashes(self, fixture, request):
+        """The paper's data-error mechanism on a dcache chain: flip a
+        high bit of a d_next pointer and the walk dereferences junk."""
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(3)
+        task = machine.tasks[3]
+        # populate one bucket with two entries so the chain is walked
+        fd = open_path(machine, task, b"etc/passwd")
+        machine.syscall(Syscall.CLOSE, fd)
+        pool = machine.image.globals["dentry_pool"]
+        next_field = machine.image.field("dentry", "d_next")
+        little = machine.image.little_endian
+        addr = pool.addr + next_field.offset
+        machine.cpu.mem.write_u32(addr, 0x00000030, little)  # junk ptr
+        # also corrupt the hash so the first entry does not match and
+        # the walk follows d_next
+        hash_field = machine.image.field("dentry", "d_hash")
+        machine.cpu.mem.write_u32(pool.addr + hash_field.offset,
+                                  1, little)
+        with pytest.raises(KernelCrash):
+            open_path(machine, task, b"etc/passwd")

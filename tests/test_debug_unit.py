@@ -1,0 +1,102 @@
+"""Tests for the debug unit (breakpoints/watchpoints)."""
+
+import pytest
+
+from repro.isa.debug import DebugUnit
+from repro.isa.faults import AccessKind
+
+
+class TestInstructionBreakpoints:
+    def test_fires_on_exact_address(self):
+        unit = DebugUnit()
+        hits = []
+        unit.on_breakpoint = hits.append
+        unit.set_instruction_breakpoint(0x1000)
+        unit.check_fetch(0x0FFF, 1)
+        unit.check_fetch(0x1001, 2)
+        assert not hits
+        unit.check_fetch(0x1000, 3)
+        assert len(hits) == 1
+        assert hits[0].addr == 0x1000
+        assert hits[0].cycles == 3
+
+    def test_one_shot_removes_itself(self):
+        unit = DebugUnit()
+        hits = []
+        unit.on_breakpoint = hits.append
+        unit.set_instruction_breakpoint(0x1000)
+        unit.check_fetch(0x1000, 1)
+        unit.check_fetch(0x1000, 2)
+        assert len(hits) == 1
+        assert not unit.has_instruction_breakpoints
+
+    def test_persistent_breakpoint(self):
+        unit = DebugUnit()
+        hits = []
+        unit.on_breakpoint = hits.append
+        unit.set_instruction_breakpoint(0x1000, one_shot=False)
+        unit.check_fetch(0x1000, 1)
+        unit.check_fetch(0x1000, 2)
+        assert len(hits) == 2
+
+    def test_slot_limit(self):
+        unit = DebugUnit(insn_slots=2)
+        unit.set_instruction_breakpoint(0x1000)
+        unit.set_instruction_breakpoint(0x2000)
+        with pytest.raises(ValueError):
+            unit.set_instruction_breakpoint(0x3000)
+
+
+class TestWatchpoints:
+    def test_fires_on_overlap(self):
+        unit = DebugUnit()
+        hits = []
+        unit.on_watchpoint = hits.append
+        unit.set_watchpoint(0x100, length=1)
+        # word access covering the watched byte
+        unit.check_access(0x0FE, 4, AccessKind.READ, 5)
+        assert len(hits) == 1
+        assert hits[0].kind is AccessKind.READ
+
+    def test_no_fire_outside(self):
+        unit = DebugUnit()
+        hits = []
+        unit.on_watchpoint = hits.append
+        unit.set_watchpoint(0x100, length=1)
+        unit.check_access(0x101, 4, AccessKind.READ, 1)
+        unit.check_access(0x0FC, 4, AccessKind.WRITE, 2)
+        assert not hits
+
+    def test_kind_filtering(self):
+        unit = DebugUnit()
+        hits = []
+        unit.on_watchpoint = hits.append
+        wp = unit.set_watchpoint(0x100, length=4, on_read=False)
+        unit.check_access(0x100, 4, AccessKind.READ, 1)
+        assert not hits
+        unit.check_access(0x100, 4, AccessKind.WRITE, 2)
+        assert len(hits) == 1
+        unit.clear_watchpoint(wp)
+        unit.check_access(0x100, 4, AccessKind.WRITE, 3)
+        assert len(hits) == 1
+
+    def test_clear_twice_is_safe(self):
+        unit = DebugUnit()
+        wp = unit.set_watchpoint(0x100)
+        unit.clear_watchpoint(wp)
+        unit.clear_watchpoint(wp)
+        assert not unit.has_watchpoints
+
+    def test_slot_limit(self):
+        unit = DebugUnit(data_slots=1)
+        unit.set_watchpoint(0x100)
+        with pytest.raises(ValueError):
+            unit.set_watchpoint(0x200)
+
+    def test_clear_all(self):
+        unit = DebugUnit()
+        unit.set_watchpoint(0x100)
+        unit.set_instruction_breakpoint(0x1000)
+        unit.clear_all()
+        assert not unit.has_watchpoints
+        assert not unit.has_instruction_breakpoints

@@ -1,0 +1,79 @@
+"""Disassembler formatting tests for both architectures."""
+
+import pytest
+
+from repro.x86.disasm import disassemble, disassemble_range
+from repro.ppc.disasm import disassemble_word, disassemble_range as \
+    ppc_range
+
+
+class TestX86Format:
+    @pytest.mark.parametrize("raw,expected", [
+        (b"\x55", "push %ebp"),
+        (b"\x89\xe5", "mov %esp,%ebp"),
+        (b"\x8b\x45\xe0", "mov -0x20(%ebp),%eax"),
+        (b"\x89\x45\xfc", "mov %eax,-0x4(%ebp)"),
+        (b"\x8d\x65\xf4", "lea -0xc(%ebp),%esp"),
+        (b"\xc3", "ret"),
+        (b"\x0f\x0b", "ud2a"),
+        (b"\xcd\x80", "int $0x80"),
+        (b"\x85\xc0", "test %eax,%eax"),
+        (b"\x31\xd2", "xor %edx,%edx"),
+        (b"\xf7\xf1", "div %ecx"),
+        (b"\x90", "nop"),
+        (b"\xb8\x2a\x00\x00\x00", "mov $0x2a,%eax"),
+        (b"\x66\x8b\x45\xe0", "mov -0x20(%ebp),%ax"),
+        (b"\x8a\x45\xe0", "mov -0x20(%ebp),%al"),
+        (b"\x8b\x8a\xe0\x7a\x43\xc0", "mov 0xc0437ae0(%edx),%ecx"),
+        (b"\xff\xd0", "call *%eax"),
+        (b"\x0f\xaf\xc1", "imul %ecx,%eax"),
+        (b"\xcf", "iret"),
+    ])
+    def test_att_rendering(self, raw, expected):
+        _, text = disassemble(raw)
+        assert text == expected
+
+    def test_jump_targets_absolute(self):
+        _, text = disassemble(b"\x74\x27", addr=0xC02ABF25)
+        assert text == "je 0xc02abf4e"         # paper figure 7
+
+    def test_range_includes_hex_bytes(self):
+        lines = disassemble_range(b"\x55\x89\xe5", 0xC0100000, 4)
+        assert lines[0].startswith("c0100000: 55")
+        assert len(lines) == 2
+
+    def test_bad_bytes_render(self):
+        _, text = disassemble(b"\xd8\x00")
+        assert "bad" in text
+
+
+class TestPPCFormat:
+    @pytest.mark.parametrize("word,expected", [
+        (0x9421FFE0, "stwu r1,-32(r1)"),
+        (0x7C0802A6, "mflr r0"),
+        (0x7C0803A6, "mtlr r0"),
+        (0x817F0028, "lwz r11,40(r31)"),
+        (0x2C0B0000, "cmpwi r11,0"),
+        (0x38600007, "li r3,7"),
+        (0x3C60C030, "lis r3,-16336"),
+        (0x4E800020, "blr"),
+        (0x44000002, "sc"),
+        (0x7C631A14, "add r3,r3,r3"),
+        (0x60000000, "nop"),
+        (0x7C0902A6, "mfctr r0"),
+    ])
+    def test_rendering(self, word, expected):
+        _, text = disassemble_word(word)
+        assert text == expected
+
+    def test_illegal_rendering(self):
+        _, text = disassemble_word(0x00000000)
+        assert "illegal" in text
+
+    def test_range(self):
+        raw = (0x9421FFE0).to_bytes(4, "big") + \
+            (0x7C0802A6).to_bytes(4, "big")
+        lines = ppc_range(raw, 0xC0048FAC, 4)
+        assert len(lines) == 2
+        assert "stwu" in lines[0]
+        assert lines[0].startswith("c0048fac: 94 21 ff e0")

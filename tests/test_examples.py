@@ -1,0 +1,33 @@
+"""The runnable examples must keep working (they assert internally)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: quick case studies (the campaign-running examples are exercised by
+#: the benchmark suite instead)
+QUICK = [
+    "case_instruction_resync_p4.py",
+    "case_stack_error_g4.py",
+    "case_spinlock_ud2_p4.py",
+    "case_stack_overflow_contrast.py",
+]
+
+
+@pytest.mark.parametrize("script", QUICK)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+
+
+def test_examples_exist():
+    scripts = list(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3
+    assert (EXAMPLES / "quickstart.py").exists()

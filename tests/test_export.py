@@ -1,0 +1,63 @@
+"""JSON export/import round-trip tests."""
+
+from repro.analysis.export import (
+    dump_results, load_results, result_from_dict, result_to_dict,
+)
+from repro.injection.outcomes import (
+    CampaignKind, CrashCauseG4, CrashCauseP4, InjectionResult, Outcome,
+)
+from repro.injection.targets import DataTarget
+
+
+def sample_results():
+    return [
+        InjectionResult(
+            arch="x86", kind=CampaignKind.DATA,
+            target=DataTarget(addr=0xC0300010, bit=3, at_instret=1000,
+                              initialized=True),
+            outcome=Outcome.CRASH_KNOWN,
+            cause=CrashCauseP4.NULL_POINTER,
+            activation_cycles=123, crash_cycles=456,
+            detail="x", function="getblk", subsystem="fs"),
+        InjectionResult(
+            arch="ppc", kind=CampaignKind.STACK, target=None,
+            outcome=Outcome.NOT_ACTIVATED, screened=True),
+        InjectionResult(
+            arch="ppc", kind=CampaignKind.CODE, target=None,
+            outcome=Outcome.CRASH_KNOWN,
+            cause=CrashCauseG4.STACK_OVERFLOW,
+            activation_cycles=0, crash_cycles=2_000),
+    ]
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        for original in sample_results():
+            restored = result_from_dict(result_to_dict(original))
+            assert restored.arch == original.arch
+            assert restored.kind is original.kind
+            assert restored.outcome is original.outcome
+            assert restored.cause is original.cause
+            assert restored.latency == original.latency
+            assert restored.screened == original.screened
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        originals = sample_results()
+        assert dump_results(originals, path) == 3
+        restored = load_results(path)
+        assert len(restored) == 3
+        assert restored[0].cause is CrashCauseP4.NULL_POINTER
+        assert restored[2].cause is CrashCauseG4.STACK_OVERFLOW
+        assert restored[1].outcome is Outcome.NOT_ACTIVATED
+
+    def test_target_payload_preserved(self):
+        payload = result_to_dict(sample_results()[0])
+        assert payload["target"]["type"] == "DataTarget"
+        assert payload["target"]["addr"] == 0xC0300010
+
+    def test_cause_arch_tagged(self):
+        payloads = [result_to_dict(r) for r in sample_results()]
+        assert payloads[0]["cause_arch"] == "x86"
+        assert payloads[2]["cause_arch"] == "ppc"
+        assert payloads[1]["cause_arch"] is None

@@ -1,0 +1,189 @@
+"""Lexer, parser, and sema tests for the kernel DSL."""
+
+import pytest
+
+from repro.kcc import ast
+from repro.kcc.lexer import LexError, tokenize
+from repro.kcc.parser import ParseError, parse
+from repro.kcc.sema import SemaError, analyze
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("fn foo(x: u32) -> u32 { return x + 0x10; }")
+        kinds = [token.kind for token in tokens]
+        assert kinds[-1] == "eof"
+        texts = [token.text for token in tokens[:4]]
+        assert texts == ["fn", "foo", "(", "x"]
+
+    def test_hex_and_decimal(self):
+        tokens = tokenize("0xDEAD4EAD 42")
+        assert tokens[0].value == 0xDEAD4EAD
+        assert tokens[1].value == 42
+
+    def test_comments(self):
+        tokens = tokenize("a // line comment\n /* block\ncomment */ b")
+        assert [t.text for t in tokens[:2]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a << b >= c != d && e")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<<", ">=", "!=", "&&"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 4]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestParser:
+    def test_struct_and_global(self):
+        program = parse("""
+            struct pair { lo: u16; hi: u16; }
+            global table: u32[8] = {1, 2, 3};
+            global p: pair;
+            const K = 4 * 3 + 1;
+        """)
+        assert program.structs[0].name == "pair"
+        assert len(program.structs[0].fields) == 2
+        table = program.global_by_name("table")
+        assert table.count == 8
+        assert table.init == [1, 2, 3]
+        assert program.global_by_name("p").is_struct
+        assert program.consts["K"] == 13
+
+    def test_function_shapes(self):
+        program = parse("""
+            fn f(a: u32, b: *u8) -> u32 {
+                var x: u32 = a + 1;
+                if (x > 3) { return x; } else { x = 0; }
+                while (x < 10) {
+                    x = x + 1;
+                    if (x == 5) { break; }
+                    continue;
+                }
+                return x;
+            }
+        """)
+        func = program.functions[0]
+        assert len(func.params) == 2
+        assert func.params[1].var_type.pointee == "u8"
+
+    def test_precedence(self):
+        program = parse("fn f() -> u32 { return 2 + 3 * 4; }")
+        ret = program.functions[0].body[0]
+        assert isinstance(ret.value, ast.Binary)
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_field_chain(self):
+        program = parse("""
+            struct s { next: *s; v: u32; }
+            fn f(p: *s) -> u32 { return p.next.v; }
+        """)
+        ret = program.functions[0].body[0]
+        assert isinstance(ret.value, ast.FieldAccess)
+        assert isinstance(ret.value.base, ast.FieldAccess)
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse("fn f( { }")
+        with pytest.raises(ParseError):
+            parse("global x: u32")           # missing semicolon
+        with pytest.raises(ParseError):
+            parse("fn f() { 1 + ; }")
+        with pytest.raises(ParseError):
+            parse("fn f() { 1 + 2 = 3; }")   # bad lvalue
+
+    def test_sizeof_and_null(self):
+        program = parse("""
+            struct s { v: u32; }
+            fn f() -> u32 { return sizeof(s) + null; }
+        """)
+        assert program is not None
+
+
+class TestSema:
+    def _analyze(self, source: str):
+        return analyze(parse(source))
+
+    def test_binds_names(self):
+        program = self._analyze("""
+            global counter: u32;
+            fn bump(by: u32) -> u32 {
+                var before: u32 = counter;
+                counter = counter + by;
+                return before;
+            }
+        """)
+        func = program.functions[0]
+        decl = func.body[0]
+        assert decl.init.kind == "global"
+        assign = func.body[1]
+        assert assign.value.right.kind == "param"
+
+    def test_pointer_typing(self):
+        program = self._analyze("""
+            struct task { state: u16; pad: u16; }
+            global tasks: task[4];
+            fn f(i: u32) -> u32 {
+                var t: *task = tasks[i];
+                return t.state;
+            }
+        """)
+        ret = program.functions[0].body[1]
+        assert ret.value.struct == "task"
+        assert ret.value.type.width == 2
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(SemaError):
+            self._analyze("fn f() -> u32 { return nope; }")
+
+    def test_rejects_field_on_scalar(self):
+        with pytest.raises(SemaError):
+            self._analyze("fn f(x: u32) -> u32 { return x.bad; }")
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(SemaError):
+            self._analyze("""
+                struct s { v: u32; }
+                fn f(p: *s) -> u32 { return p.nope; }
+            """)
+
+    def test_rejects_bad_arity(self):
+        with pytest.raises(SemaError):
+            self._analyze("""
+                fn g(a: u32) -> u32 { return a; }
+                fn f() -> u32 { return g(1, 2); }
+            """)
+
+    def test_rejects_duplicate_local(self):
+        with pytest.raises(SemaError):
+            self._analyze("""
+                fn f() { var x: u32; var x: u32; }
+            """)
+
+    def test_rejects_break_outside_loop(self):
+        with pytest.raises(SemaError):
+            self._analyze("fn f() { break; }")
+
+    def test_intrinsic_arity(self):
+        with pytest.raises(SemaError):
+            self._analyze("fn f() { __store32(1); }")
+
+    def test_whole_array_use_rejected(self):
+        with pytest.raises(SemaError):
+            self._analyze("""
+                global a: u32[4];
+                fn f() -> u32 { return a; }
+            """)
+
+    def test_kernel_source_analyzes(self, kernel_program_fixture):
+        assert len(kernel_program_fixture.functions) > 50

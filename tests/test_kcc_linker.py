@@ -1,0 +1,119 @@
+"""Linker and layout tests."""
+
+import pytest
+
+from repro.kcc import analyze, build_image, parse
+from repro.kcc.layout import (
+    compute_struct_layouts, layout_struct_ppc, layout_struct_x86,
+    place_globals,
+)
+from repro.kcc.linker import LinkError
+
+SOURCE = """
+struct widget { flag: u8; count: u16; total: u32; next: *widget; }
+global widgets: widget[4];
+global lonely_byte: u8 = 9;
+global lonely_half: u16 = 900;
+global words: u32[4] = {10, 20, 30, 40};
+global bytes_: u8[8] = {1, 2, 3};
+fn helper(x: u32) -> u32 { return x + 1; }
+fn entry(x: u32) -> u32 { return helper(x) * 2; }
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return analyze(parse(SOURCE))
+
+
+class TestStructLayout:
+    def test_x86_packed_natural_alignment(self, program):
+        layout = layout_struct_x86(program.struct_by_name("widget"))
+        assert layout.field("flag").offset == 0
+        assert layout.field("count").offset == 2       # aligned to 2
+        assert layout.field("total").offset == 4
+        assert layout.field("next").offset == 8
+        assert layout.size == 12
+        assert layout.field("flag").access_width == 1
+        assert layout.field("count").access_width == 2
+
+    def test_ppc_word_per_field(self, program):
+        layout = layout_struct_ppc(program.struct_by_name("widget"))
+        assert [layout.field(n).offset
+                for n in ("flag", "count", "total", "next")] == \
+            [0, 4, 8, 12]
+        assert layout.size == 16
+        # every access is a word; sub-word fields masked in-register
+        assert layout.field("flag").access_width == 4
+        assert layout.field("flag").load_mask == 0xFF
+        assert layout.field("count").load_mask == 0xFFFF
+        assert layout.field("total").load_mask == 0
+
+    def test_data_section_sparser_on_ppc(self, program):
+        x86 = place_globals(program, "x86", 0xC0300000,
+                            compute_struct_layouts(program, "x86"))
+        ppc = place_globals(program, "ppc", 0xC0300000,
+                            compute_struct_layouts(program, "ppc"))
+        assert ppc["widgets"].size > x86["widgets"].size
+        # single scalars get a whole word on ppc
+        assert ppc["lonely_byte"].elem_size == 4
+        assert x86["lonely_byte"].elem_size == 1
+        # dense arrays stay dense on both
+        assert ppc["bytes_"].elem_size == 1
+        assert x86["bytes_"].elem_size == 1
+
+
+class TestLink:
+    @pytest.mark.parametrize("arch", ["x86", "ppc"])
+    def test_symbols_resolve(self, program, arch):
+        image = build_image(program, arch)
+        assert image.symbol("entry") != image.symbol("helper")
+        entry = image.functions["entry"]
+        assert image.function_at(entry.addr).name == "entry"
+        assert image.function_at(entry.addr + entry.size - 1).name == \
+            "entry"
+        assert image.function_at(0xDEAD0000) is None
+
+    @pytest.mark.parametrize("arch", ["x86", "ppc"])
+    def test_initialized_data(self, program, arch):
+        image = build_image(program, arch)
+        base = image.data_base
+        info = image.globals["words"]
+        little = image.little_endian
+        offset = info.addr - base
+        raw = image.data_bytes[offset:offset + 4]
+        assert int.from_bytes(raw, "little" if little else "big") == 10
+        ranges = image.init_data_ranges
+        assert any(info.addr in r for r in ranges)
+        # uninitialized struct array is not in the initialized set
+        widgets = image.globals["widgets"]
+        assert not any(widgets.addr in r for r in ranges)
+
+    def test_undefined_symbol_fails(self):
+        bad = analyze(parse(
+            "fn f() -> u32 { return __icall0(&f) + g(); }"
+            "fn g() -> u32 { return 0; }"))
+        # remove g's body from functions to force a dangling reloc
+        bad.functions = [bad.functions[0]]
+        with pytest.raises(LinkError):
+            build_image(bad, "x86")
+
+    @pytest.mark.parametrize("arch", ["x86", "ppc"])
+    def test_insn_addr_maps(self, program, arch):
+        image = build_image(program, arch)
+        for info in image.functions.values():
+            assert info.insn_addrs[0] == info.addr
+            assert all(info.addr <= a < info.addr + info.size
+                       for a in info.insn_addrs)
+            assert sorted(info.insn_addrs) == list(info.insn_addrs)
+
+    def test_kernel_images_build(self, x86_image, ppc_image):
+        assert x86_image.functions.keys() == ppc_image.functions.keys()
+        assert "kupdate" in x86_image.functions
+        assert "kjournald" in x86_image.functions
+        assert "free_pages_ok" in x86_image.functions
+        assert "alloc_skb" in x86_image.functions
+        assert x86_image.functions["memcpy"].subsystem == "lib"
+        assert x86_image.functions["kupdate"].subsystem == "fs"
+        # the ppc data section is at least as large (word padding)
+        assert len(ppc_image.data_bytes) >= len(x86_image.data_bytes)

@@ -1,0 +1,120 @@
+"""Constant-folding pass tests (semantics preserved, code shrinks)."""
+
+import pytest
+
+from repro.kcc import analyze, build_image, parse
+from repro.kcc.ast import Binary, Num
+from repro.kcc.optimize import fold_expr, optimize_program
+
+
+def parse_expr(text: str):
+    program = analyze(parse(f"fn f(a: u32, b: u32) -> u32 "
+                            f"{{ return {text}; }}"))
+    return program.functions[0].body[0].value
+
+
+class TestFolding:
+    @pytest.mark.parametrize("source,value", [
+        ("2 + 3 * 4", 14),
+        ("(10 - 3) * (1 << 4)", 112),
+        ("100 / 7", 14),
+        ("100 % 7", 2),
+        ("0xFF & 0x0F0F", 0x0F),
+        ("1 | 2 | 4", 7),
+        ("5 ^ 5", 0),
+        ("~0", 0xFFFFFFFF),
+        ("-1", 0xFFFFFFFF),
+        ("!0", 1),
+        ("!7", 0),
+        ("3 < 4", 1),
+        ("4 <= 3", 0),
+        ("0xFFFFFFFF + 1", 0),                 # wraparound
+    ])
+    def test_constants_fold(self, source, value):
+        folded = fold_expr(parse_expr(source))
+        assert isinstance(folded, Num)
+        assert folded.value == value
+
+    @pytest.mark.parametrize("source", [
+        "a + 0", "0 + a", "a - 0", "a * 1", "1 * a", "a << 0",
+        "a >> 0", "a | 0", "0 | a",
+    ])
+    def test_identities_remove_op(self, source):
+        folded = fold_expr(parse_expr(source))
+        assert not isinstance(folded, Binary), source
+
+    @pytest.mark.parametrize("source", [
+        "10 / 0", "10 % 0",                     # keep the runtime trap
+        "1 << 32", "1 >> 40",                   # arch-divergent
+        "a + b",                                # not constant
+    ])
+    def test_unfoldable_stays(self, source):
+        folded = fold_expr(parse_expr(source))
+        assert not isinstance(folded, Num)
+
+    def test_nested_partial_fold(self):
+        folded = fold_expr(parse_expr("a + (2 * 8)"))
+        assert isinstance(folded, Binary)
+        assert isinstance(folded.right, Num)
+        assert folded.right.value == 16
+
+
+class TestDeadCode:
+    def test_while_zero_removed(self):
+        program = analyze(parse("""
+            fn f() -> u32 {
+                while (1 == 2) { __bug(); }
+                return 7;
+            }
+        """))
+        optimize_program(program)
+        from repro.kcc import ast
+        kinds = [type(s).__name__ for s in program.functions[0].body]
+        assert "While" not in kinds
+
+    def test_if_with_locals_kept(self):
+        """Dead branches that declare locals must survive (slot
+        indices are fixed at sema time)."""
+        program = analyze(parse("""
+            fn f() -> u32 {
+                var total: u32 = 0;
+                if (0) { var x: u32 = 3; total = x; }
+                return total;
+            }
+        """))
+        optimize_program(program)
+        kinds = [type(s).__name__ for s in program.functions[0].body]
+        assert "If" in kinds
+
+
+class TestCodeShrinksAndAgrees:
+    SOURCE = """
+        const BLOCK = 64;
+        global out: u32[4];
+        fn f(i: u32) -> u32 {
+            var offset: u32 = i * BLOCK + (BLOCK / 2) - 0;
+            out[0] = 2 + 3 * 4;
+            out[1] = offset * 1;
+            while (1 == 0) { out[2] = 9; }
+            return offset + (0 | 0);
+        }
+    """
+
+    @pytest.mark.parametrize("arch", ["x86", "ppc"])
+    def test_optimized_code_is_smaller(self, arch):
+        plain = build_image(analyze(parse(self.SOURCE)), arch,
+                            optimize=False)
+        tight = build_image(analyze(parse(self.SOURCE)), arch,
+                            optimize=True)
+        assert len(tight.text_bytes) < len(plain.text_bytes)
+
+    @pytest.mark.parametrize("arch", ["x86", "ppc"])
+    def test_semantics_preserved(self, arch):
+        from tests.test_kcc_backends import run_compiled
+        results = {}
+        for optimize in (False, True):
+            image = build_image(analyze(parse(self.SOURCE)), arch,
+                                optimize=optimize)
+            value, data = run_compiled(image, "f", [5])
+            results[optimize] = (value, data)
+        assert results[False] == results[True]

@@ -1,0 +1,52 @@
+"""ABI coherence: the Python mirror must match the DSL constants."""
+
+from repro.kernel import abi
+from repro.kernel.build import kernel_program
+
+
+class TestSyscallNumbers:
+    def test_numbers_match_dsl(self, kernel_program_fixture):
+        consts = kernel_program_fixture.consts
+        for name, number in abi.SYSCALL_NUMBERS.items():
+            assert consts[name] == number, name
+
+    def test_nr_syscalls(self, kernel_program_fixture):
+        assert kernel_program_fixture.consts["NR_SYSCALLS"] == \
+            abi.NR_SYSCALLS
+
+    def test_task_states(self, kernel_program_fixture):
+        consts = kernel_program_fixture.consts
+        assert consts["TASK_RUNNING"] == abi.TASK_RUNNING
+        assert consts["TASK_INTERRUPTIBLE"] == abi.TASK_INTERRUPTIBLE
+        assert consts["TASK_STOPPED"] == abi.TASK_STOPPED
+        assert consts["TASK_UNUSED"] == abi.TASK_UNUSED
+        assert consts["NR_TASKS"] == abi.NR_TASKS
+
+    def test_spinlock_magic(self, kernel_program_fixture):
+        assert kernel_program_fixture.consts["SPINLOCK_MAGIC"] == \
+            abi.SPINLOCK_MAGIC == 0xDEAD4EAD   # the paper's Figure 13
+
+    def test_error_codes(self, kernel_program_fixture):
+        consts = kernel_program_fixture.consts
+        assert consts["ENOSYS_RET"] == abi.ENOSYS
+        assert consts["EBADF"] == abi.EBADF
+        assert consts["EINVAL"] == abi.EINVAL
+
+    def test_entry_functions_exist(self, x86_image, ppc_image):
+        for name in abi.ENTRY_FUNCTIONS:
+            assert name in x86_image.functions, name
+            assert name in ppc_image.functions, name
+
+    def test_every_syscall_slot_wired(self, kernel_program_fixture):
+        """syscall_init must populate a slot for each abi.Syscall."""
+        source_names = {f.name for f in kernel_program_fixture.functions}
+        expected = {
+            abi.Syscall.GETPID: "sys_getpid",
+            abi.Syscall.SCHED_YIELD: "sys_sched_yield",
+            abi.Syscall.READ: "sys_read",
+            abi.Syscall.WRITE: "sys_write",
+            abi.Syscall.PIPE_WRITE: "sys_pipe_write",
+            abi.Syscall.SEND: "sys_send",
+        }
+        for syscall, fname in expected.items():
+            assert fname in source_names, fname

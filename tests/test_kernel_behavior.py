@@ -1,0 +1,139 @@
+"""Behavioral tests of the miniature kernel itself (via the machine)."""
+
+import pytest
+
+from repro.kernel.abi import Syscall, SPINLOCK_MAGIC
+from repro.machine.events import KernelCrash
+
+
+@pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+class TestBufferCache:
+    def test_cache_hit_counting(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(3)
+        task = machine.tasks[3]
+        machine.write_user(task, 0, b"z" * 100)
+        fd = machine.syscall(Syscall.OPEN, 2)
+        machine.syscall(Syscall.WRITE, fd, task.user_buf, 100)
+        misses = machine.read_global("buffer_misses")
+        machine.syscall(Syscall.LSEEK, fd, 0)
+        machine.syscall(Syscall.READ, fd, task.user_buf + 0x800, 100)
+        assert machine.read_global("buffer_hits") >= 1
+        assert machine.read_global("buffer_misses") == misses
+
+    def test_dirty_tracking_and_sync(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(3)
+        task = machine.tasks[3]
+        machine.write_user(task, 0, b"q" * 64)
+        fd = machine.syscall(Syscall.OPEN, 3)
+        machine.syscall(Syscall.WRITE, fd, task.user_buf, 64)
+        assert machine.read_global("dirty_count") >= 1
+        machine.syscall(Syscall.FSYNC, fd)
+        assert machine.read_global("dirty_count") == 0
+        # data actually reached the "disk"
+        ramdisk = machine.image.globals["ramdisk"]
+        block = 3 * 4 * 256                # ino 3, first block
+        assert machine.cpu.mem.read(ramdisk.addr + block, 4) == b"qqqq"
+
+    def test_lru_eviction_under_pressure(self, fixture, request):
+        """Touch more blocks than there are buffers: must still work."""
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(3)
+        task = machine.tasks[3]
+        machine.write_user(task, 0, b"e" * 16)
+        for ino in range(6):
+            fd = machine.syscall(Syscall.OPEN, ino)
+            for pos in (0, 256, 512, 768):
+                machine.syscall(Syscall.LSEEK, fd, pos)
+                machine.syscall(Syscall.READ, fd,
+                                task.user_buf + 0x800, 16)
+            machine.syscall(Syscall.CLOSE, fd)
+        assert machine.read_global("buffer_misses") >= 16
+
+
+@pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+class TestJournal:
+    def test_commit_after_expiry(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        commits = machine.read_global("the_journal", 0)
+        for _ in range(8):                 # advance past t_expires
+            machine.deliver_timer()
+        machine.run_kthread(2)
+        journal = machine.image.globals["the_journal"]
+        field = machine.image.field("journal_s", "j_commits")
+        little = machine.image.little_endian
+        value = machine.cpu.mem.read_u32(journal.addr + field.offset,
+                                         little)
+        assert value >= 1
+
+
+@pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+class TestSpinlockChecks:
+    def test_magic_intact_after_boot(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        for lock_name in ("runqueue_lock", "buffer_lock", "pages_lock",
+                          "net_lock", "pipe_lock"):
+            lock = machine.image.globals[lock_name]
+            field = machine.image.field("spinlock_t", "magic")
+            little = machine.image.little_endian
+            value = machine.cpu.mem.read_u32(
+                lock.addr + field.offset, little)
+            assert value == SPINLOCK_MAGIC, lock_name
+
+    def test_corrupted_magic_bugchecks(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        lock = machine.image.globals["buffer_lock"]
+        field = machine.image.field("spinlock_t", "magic")
+        little = machine.image.little_endian
+        machine.cpu.mem.write_u32(lock.addr + field.offset,
+                                  SPINLOCK_MAGIC ^ 0x400000, little)
+        machine._switch_to(3)
+        task = machine.tasks[3]
+        machine.write_user(task, 0, b"x" * 32)
+        fd = machine.syscall(Syscall.OPEN, 1)
+        with pytest.raises(KernelCrash) as exc:
+            machine.syscall(Syscall.WRITE, fd, task.user_buf, 32)
+        assert exc.value.report.function in ("spin_lock", "spin_unlock")
+
+
+@pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+class TestSchedulerBehavior:
+    def test_yield_rotates_tasks(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        seen = set()
+        for _ in range(20):
+            machine.syscall(Syscall.SCHED_YIELD)
+            machine.deliver_timer()
+            seen.add(machine.current_pid)
+        assert len(seen) >= 3
+
+    def test_counters_recharge(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        for _ in range(30):                # exhaust every slice
+            machine.syscall(Syscall.SCHED_YIELD)
+            machine.deliver_timer()
+        # the system is still scheduling (no wedge): counters recharged
+        pid = machine.syscall(Syscall.GETPID)
+        assert pid == machine.current_pid
+
+
+@pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+class TestAllocator:
+    def test_brk_roundtrip(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        free_before = machine.read_global("page_free_count")
+        assert machine.syscall(Syscall.BRK) != 0
+        assert machine.read_global("page_free_count") == free_before
+
+    def test_net_skb_lifecycle(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(4)
+        task = machine.tasks[4]
+        machine.write_user(task, 0, b"frame-data-1234")
+        allocated_before = machine.read_global("km_alloc_count")
+        machine.syscall(Syscall.SEND, task.user_buf, 15)
+        machine.syscall(Syscall.RECV, task.user_buf + 0x800, 64)
+        assert machine.read_global("km_alloc_count") > allocated_before
+        assert machine.read_global("packets_rx") >= 1
+        assert machine.read_user(task, 0x800, 15) == b"frame-data-1234"

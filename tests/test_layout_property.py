@@ -1,0 +1,76 @@
+"""Property-based layout invariants (hypothesis over random structs)."""
+
+from hypothesis import given, strategies as st
+
+from repro.kcc import ast
+from repro.kcc.layout import layout_struct_ppc, layout_struct_x86
+
+_types = st.sampled_from([ast.U8, ast.U16, ast.U32,
+                          ast.Type(4, pointee="other")])
+
+
+@st.composite
+def struct_defs(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    fields = [ast.StructField(f"f{index}", draw(_types), 0)
+              for index in range(count)]
+    return ast.StructDef("s", fields, 0)
+
+
+class TestLayoutInvariants:
+    @given(struct_defs())
+    def test_fields_never_overlap_x86(self, struct):
+        layout = layout_struct_x86(struct)
+        spans = sorted(
+            (info.offset, info.offset + info.access_width)
+            for info in layout.fields.values())
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    @given(struct_defs())
+    def test_fields_never_overlap_ppc(self, struct):
+        layout = layout_struct_ppc(struct)
+        spans = sorted(
+            (info.offset, info.offset + info.access_width)
+            for info in layout.fields.values())
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    @given(struct_defs())
+    def test_natural_alignment_x86(self, struct):
+        layout = layout_struct_x86(struct)
+        for field in struct.fields:
+            info = layout.field(field.name)
+            assert info.offset % info.access_width == 0
+
+    @given(struct_defs())
+    def test_ppc_fields_word_aligned_word_accessed(self, struct):
+        layout = layout_struct_ppc(struct)
+        for info in layout.fields.values():
+            assert info.offset % 4 == 0
+            assert info.access_width == 4
+
+    @given(struct_defs())
+    def test_ppc_never_smaller_than_x86(self, struct):
+        """The paper's data-sparsity claim, as an invariant: the
+        word-per-field layout is never more compact."""
+        assert layout_struct_ppc(struct).size >= \
+            layout_struct_x86(struct).size
+
+    @given(struct_defs())
+    def test_sizes_cover_all_fields(self, struct):
+        for engine in (layout_struct_x86, layout_struct_ppc):
+            layout = engine(struct)
+            for info in layout.fields.values():
+                assert info.offset + info.access_width <= layout.size
+
+    @given(struct_defs())
+    def test_masks_match_semantics(self, struct):
+        layout = layout_struct_ppc(struct)
+        for field in struct.fields:
+            info = layout.field(field.name)
+            if field.field_type.width == 4:
+                assert info.load_mask == 0
+            else:
+                assert info.load_mask == \
+                    (1 << (field.field_type.width * 8)) - 1

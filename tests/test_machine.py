@@ -1,0 +1,203 @@
+"""Machine-layer tests: boot, syscalls, crash machinery, forking."""
+
+import pytest
+
+from repro.kernel.abi import Syscall
+from repro.machine.events import HangDetected, KernelCrash
+from repro.machine.machine import (
+    KSTACK_SIZE, Machine, MachineConfig, SPRG2_VALUE,
+)
+from repro.ppc.exceptions import PPCVector
+from repro.ppc.registers import SPR_SPRG2
+from repro.x86.exceptions import X86Vector
+from repro.x86.registers import FLAG_NT
+
+
+class TestBootAndSyscalls:
+    @pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+    def test_getpid_tracks_current(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(3)
+        assert machine.syscall(Syscall.GETPID) == 3
+        machine._switch_to(4)
+        assert machine.syscall(Syscall.GETPID) == 4
+
+    @pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+    def test_file_roundtrip(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        machine._switch_to(3)
+        task = machine.tasks[3]
+        payload = bytes(range(200))
+        machine.write_user(task, 0, payload)
+        fd = machine.syscall(Syscall.OPEN, 2)
+        assert machine.syscall(Syscall.WRITE, fd, task.user_buf,
+                               200) == 200
+        machine.syscall(Syscall.LSEEK, fd, 0)
+        assert machine.syscall(Syscall.READ, fd, task.user_buf + 0x800,
+                               200) == 200
+        assert machine.read_user(task, 0x800, 200) == payload
+        assert machine.syscall(Syscall.CLOSE, fd) == 0
+
+    @pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+    def test_bad_fd_returns_error(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        from repro.kernel import abi
+        assert machine.syscall(Syscall.READ, 99, 0, 10) == abi.EBADF
+
+    @pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+    def test_unknown_syscall_is_enosys(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        from repro.kernel import abi
+        assert machine.syscall(15) == abi.ENOSYS
+        assert machine.syscall(200) == abi.ENOSYS
+
+    @pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+    def test_kthreads_run(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        machine.run_kthread(1)                     # kupdate
+        machine.run_kthread(2)                     # kjournald
+        assert machine.read_global("bdflush_runs") >= 1
+
+    @pytest.mark.parametrize("fixture", ["fresh_x86", "fresh_ppc"])
+    def test_timer_advances_jiffies(self, fixture, request):
+        machine = request.getfixturevalue(fixture)
+        before = machine.read_global("jiffies")
+        for _ in range(3):
+            machine.deliver_timer()
+        assert machine.read_global("jiffies") == before + 3
+
+    def test_quantum_padding(self, fresh_x86):
+        machine = fresh_x86
+        start = machine.cpu.cycles
+        machine.deliver_timer()
+        assert machine.cpu.cycles - start >= machine.tick_cycles
+
+
+class TestFork:
+    def test_fork_is_independent(self, booted_x86):
+        one = booted_x86.fork()
+        two = booted_x86.fork()
+        one._switch_to(3)
+        one.syscall(Syscall.BRK)
+        assert two.read_global("syscall_count") == \
+            booted_x86.read_global("syscall_count")
+        assert one.read_global("syscall_count") != \
+            two.read_global("syscall_count")
+
+    def test_fork_requires_boot(self):
+        machine = Machine("ppc")
+        with pytest.raises(RuntimeError):
+            machine.fork()
+
+    def test_fork_preserves_cpu_state(self, booted_ppc):
+        clone = booted_ppc.fork()
+        assert clone.cpu.instret == booted_ppc.cpu.instret
+        assert clone.cpu.gpr == booted_ppc.cpu.gpr
+        assert clone.cpu.spr[SPR_SPRG2] == SPRG2_VALUE
+
+    def test_fork_determinism(self, booted_x86):
+        results = []
+        for _ in range(2):
+            machine = booted_x86.fork(
+                config=MachineConfig(seed=5))
+            machine._switch_to(3)
+            machine.syscall(Syscall.BRK)
+            results.append((machine.cpu.instret, machine.cpu.cycles))
+        assert results[0] == results[1]
+
+
+class TestCrashMachinery:
+    def _crash_x86(self, machine):
+        """Corrupt the syscall table to force a wild indirect call."""
+        machine.write_global("sys_call_table", 0x00000008, index=0)
+        with pytest.raises(KernelCrash) as exc:
+            machine.syscall(Syscall.GETPID)
+        return exc.value.report
+
+    def test_null_pointer_crash_report(self, fresh_x86):
+        report = self._crash_x86(fresh_x86)
+        assert report.arch == "x86"
+        assert report.vector == X86Vector.PAGE_FAULT
+        assert report.cycles_at_crash > 0
+        # wild jump to the null page: pc is outside kernel text, so
+        # the dump cannot attribute a function
+        assert report.pc == 8
+        assert report.function == ""
+
+    def test_stage_costs_accounted(self, fresh_x86):
+        machine = fresh_x86
+        machine.write_global("sys_call_table", 0x00000008, index=0)
+        before = machine.cpu.cycles
+        with pytest.raises(KernelCrash) as exc:
+            machine.syscall(Syscall.GETPID)
+        report = exc.value.report
+        # stage 2 (>1000) + stage 3 (~150-200 instructions)
+        assert report.cycles_at_crash - before > 1100
+
+    def test_g4_stack_wrapper_flags_out_of_range(self, fresh_ppc):
+        machine = fresh_ppc
+        machine.write_global("sys_call_table", 0x00000008, index=0)
+
+        # also wreck r1 so the wrapper sees an out-of-range stack
+        def action():
+            machine.cpu.gpr[1] = 0xDEAD0000
+
+        machine.schedule_action(machine.cpu.instret + 10, action)
+        with pytest.raises(KernelCrash) as exc:
+            machine.syscall(Syscall.GETPID)
+        assert exc.value.report.stack_out_of_range
+
+    def test_x86_unusable_esp_means_no_dump(self, fresh_x86):
+        machine = fresh_x86
+        machine.write_global("sys_call_table", 0x00000008, index=0)
+
+        def action():
+            machine.cpu.regs[4] = 0x00000010       # wild ESP
+
+        machine.schedule_action(machine.cpu.instret + 10, action)
+        with pytest.raises(KernelCrash) as exc:
+            machine.syscall(Syscall.GETPID)
+        report = exc.value.report
+        assert report.dump_failed
+        assert not report.dump_delivered
+
+    def test_nt_flag_invalid_tss_at_timer(self, fresh_x86):
+        machine = fresh_x86
+        machine.cpu.eflags |= FLAG_NT
+        with pytest.raises(KernelCrash) as exc:
+            machine.deliver_timer()
+        assert exc.value.report.vector == X86Vector.INVALID_TSS
+
+    def test_sprg2_corruption_fires_at_next_entry(self, fresh_ppc):
+        machine = fresh_ppc
+        machine.cpu.spr[SPR_SPRG2] = SPRG2_VALUE ^ 0x4000
+        with pytest.raises(KernelCrash) as exc:
+            machine.syscall(Syscall.GETPID)
+        assert exc.value.report.vector == PPCVector.PROGRAM
+
+    def test_hang_on_kernel_loop(self, fresh_ppc):
+        """Corrupting a spinlock to 'held' deadlocks spin_lock."""
+        machine = fresh_ppc
+        machine.write_global("runqueue_lock")  \
+            if False else None
+        info = machine.image.globals["pipe_lock"]
+        machine.cpu.mem.write_u32(info.addr, 1, False)   # lock=1
+        task = machine.tasks[3]
+        machine._switch_to(3)
+        with pytest.raises(HangDetected):
+            machine.syscall(Syscall.PIPE_WRITE, task.user_buf, 4)
+
+    def test_crash_packet_reaches_collector(self, booted_ppc):
+        from repro.injection.collector import CrashDataCollector
+        collector = CrashDataCollector()
+        machine = booted_ppc.fork(
+            config=MachineConfig(seed=1, dump_loss_probability=0.0),
+            collector=collector.receive)
+        machine.write_global("sys_call_table", 0x00000008, index=0)
+        with pytest.raises(KernelCrash) as exc:
+            machine.syscall(Syscall.GETPID)
+        assert exc.value.report.dump_delivered
+        assert collector.count == 1
+        record = collector.last()
+        assert record.arch == "ppc"
+        assert record.pc == exc.value.report.pc

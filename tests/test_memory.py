@@ -1,0 +1,146 @@
+"""Unit + property tests for the sparse memory and address space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.faults import AccessKind, MemoryFault
+from repro.isa.memory import (
+    AddressSpace, MemoryError_, PAGE_SIZE, PhysicalMemory, Region,
+)
+
+addr32 = st.integers(min_value=0, max_value=0xFFFFFFF0)
+
+
+class TestPhysicalMemory:
+    def test_zero_filled(self):
+        mem = PhysicalMemory()
+        assert mem.read(0x1234, 8) == bytes(8)
+        assert mem.read_u32(0xDEAD0000, True) == 0
+
+    def test_write_read_roundtrip(self):
+        mem = PhysicalMemory()
+        mem.write(0x1000, b"hello world")
+        assert mem.read(0x1000, 11) == b"hello world"
+
+    def test_cross_page_write(self):
+        mem = PhysicalMemory()
+        addr = PAGE_SIZE - 3
+        mem.write(addr, b"abcdef")
+        assert mem.read(addr, 6) == b"abcdef"
+
+    def test_cross_page_u32(self):
+        mem = PhysicalMemory()
+        addr = PAGE_SIZE - 2
+        mem.write_u32(addr, 0x11223344, True)
+        assert mem.read_u32(addr, True) == 0x11223344
+        mem.write_u32(addr, 0xAABBCCDD, False)
+        assert mem.read_u32(addr, False) == 0xAABBCCDD
+
+    def test_endianness(self):
+        mem = PhysicalMemory()
+        mem.write_u32(0, 0x12345678, True)
+        assert mem.read(0, 4) == b"\x78\x56\x34\x12"
+        mem.write_u32(0, 0x12345678, False)
+        assert mem.read(0, 4) == b"\x12\x34\x56\x78"
+        mem.write_u16(8, 0xBEEF, False)
+        assert mem.read(8, 2) == b"\xbe\xef"
+
+    @given(addr32, st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.booleans())
+    def test_u32_roundtrip(self, addr, value, little):
+        mem = PhysicalMemory()
+        mem.write_u32(addr, value, little)
+        assert mem.read_u32(addr, little) == value
+
+    @given(addr32, st.integers(min_value=0, max_value=0xFFFF),
+           st.booleans())
+    def test_u16_roundtrip(self, addr, value, little):
+        mem = PhysicalMemory()
+        mem.write_u16(addr, value, little)
+        assert mem.read_u16(addr, little) == value
+
+    @given(addr32, st.binary(min_size=1, max_size=64))
+    def test_raw_roundtrip(self, addr, data):
+        mem = PhysicalMemory()
+        mem.write(addr, data)
+        assert mem.read(addr, len(data)) == data
+
+    def test_resident_accounting(self):
+        mem = PhysicalMemory()
+        assert mem.resident_bytes() == 0
+        mem.write_u8(0, 1)
+        mem.write_u8(10 * PAGE_SIZE, 1)
+        assert mem.resident_bytes() == 2 * PAGE_SIZE
+
+
+class TestAddressSpace:
+    def _aspace(self):
+        mem = PhysicalMemory()
+        aspace = AddressSpace(mem)
+        aspace.map_region(Region(0x1000, 0x1000, "rx", "text"))
+        aspace.map_region(Region(0x4000, 0x2000, "rw", "data"))
+        return aspace
+
+    def test_allowed_access(self):
+        aspace = self._aspace()
+        aspace.check(0x1000, 4, AccessKind.READ)
+        aspace.check(0x1FFC, 4, AccessKind.FETCH)
+        aspace.check(0x4000, 4, AccessKind.WRITE)
+
+    def test_unmapped_faults(self):
+        aspace = self._aspace()
+        with pytest.raises(MemoryFault) as exc:
+            aspace.check(0x3000, 4, AccessKind.READ)
+        assert exc.value.reason is MemoryFault.Reason.UNMAPPED
+
+    def test_end_of_region_overrun(self):
+        aspace = self._aspace()
+        with pytest.raises(MemoryFault):
+            aspace.check(0x1FFE, 4, AccessKind.READ)
+
+    def test_protection_faults(self):
+        aspace = self._aspace()
+        with pytest.raises(MemoryFault) as exc:
+            aspace.check(0x1000, 4, AccessKind.WRITE)
+        assert exc.value.reason is MemoryFault.Reason.PROTECTION
+        with pytest.raises(MemoryFault) as exc:
+            aspace.check(0x4000, 4, AccessKind.FETCH)
+        assert exc.value.reason is MemoryFault.Reason.PROTECTION
+
+    def test_last_region_cache_does_not_leak_permissions(self):
+        aspace = self._aspace()
+        aspace.check(0x4000, 4, AccessKind.WRITE)    # caches "data"
+        with pytest.raises(MemoryFault):
+            aspace.check(0x1000, 4, AccessKind.WRITE)  # different region
+
+    def test_overlap_rejected(self):
+        aspace = self._aspace()
+        with pytest.raises(MemoryError_):
+            aspace.map_region(Region(0x1800, 0x1000, "rw", "overlap"))
+        with pytest.raises(MemoryError_):
+            aspace.map_region(Region(0x0F00, 0x200, "rw", "overlap2"))
+
+    def test_unmap(self):
+        aspace = self._aspace()
+        aspace.unmap_region("data")
+        with pytest.raises(MemoryFault):
+            aspace.check(0x4000, 4, AccessKind.READ)
+        with pytest.raises(MemoryError_):
+            aspace.unmap_region("data")
+
+    def test_translation_off(self):
+        aspace = self._aspace()
+        aspace.map_region(Region(0xC0000000, 0x1000, "rw", "khigh"))
+        aspace.check(0xC0000000, 4, AccessKind.READ)
+        aspace.translation_on = False
+        with pytest.raises(MemoryFault) as exc:
+            aspace.check(0xC0000000, 4, AccessKind.READ)
+        assert exc.value.reason is MemoryFault.Reason.NO_TRANSLATION
+        # low addresses still work
+        aspace.check(0x4000, 4, AccessKind.READ)
+
+    def test_find_region(self):
+        aspace = self._aspace()
+        assert aspace.find_region(0x4100).name == "data"
+        assert aspace.find_region(0x9000) is None
+        assert aspace.region_by_name("text").start == 0x1000

@@ -1,0 +1,139 @@
+"""NIC / lossy channel / crash packets / watchdog / collector tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.injection.collector import CrashDataCollector
+from repro.machine.nic import (
+    LossyChannel, NIC, Packet, decode_crash_packet, encode_crash_packet,
+)
+from repro.machine.watchdog import Watchdog
+
+
+class TestCrashPackets:
+    def test_roundtrip(self):
+        payload = encode_crash_packet(
+            "ppc", 0x300, 0xC0104567, 0x0000004D, 123456,
+            [0xC0101111, 0xC0102222], "kernel access of bad area")
+        decoded = decode_crash_packet(payload)
+        assert decoded["arch"] == "ppc"
+        assert decoded["vector"] == 0x300
+        assert decoded["pc"] == 0xC0104567
+        assert decoded["address"] == 0x4D
+        assert decoded["cycles"] == 123456
+        assert decoded["frame_pointers"] == [0xC0101111, 0xC0102222]
+        assert "bad area" in decoded["detail"]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_crash_packet(b"\x00" * 64)
+
+    @given(st.integers(min_value=0, max_value=0xFFF),
+           st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                    max_size=8),
+           st.text(max_size=40))
+    def test_roundtrip_property(self, vector, pc, frames, detail):
+        payload = encode_crash_packet("x86", vector, pc, 0, 1, frames,
+                                      detail)
+        decoded = decode_crash_packet(payload)
+        assert decoded["vector"] == vector
+        assert decoded["pc"] == pc
+        assert decoded["frame_pointers"] == \
+            [f & 0xFFFFFFFF for f in frames]
+
+
+class TestLossyChannel:
+    def test_no_loss(self):
+        channel = LossyChannel(0.0, seed=1)
+        received = []
+        for index in range(50):
+            assert channel.deliver(Packet(b"x", index), received.append)
+        assert len(received) == 50
+        assert channel.lost == 0
+
+    def test_total_loss(self):
+        channel = LossyChannel(1.0, seed=1)
+        received = []
+        for index in range(50):
+            assert not channel.deliver(Packet(b"x", index),
+                                       received.append)
+        assert not received
+        assert channel.lost == 50
+
+    def test_partial_loss_statistics(self):
+        channel = LossyChannel(0.2, seed=7)
+        delivered = sum(
+            1 for index in range(2000)
+            if channel.deliver(Packet(b"x", index), None))
+        assert 1500 < delivered < 1700        # ~80%
+
+    def test_determinism_by_seed(self):
+        outcomes = []
+        for _ in range(2):
+            channel = LossyChannel(0.5, seed=99)
+            outcomes.append([channel.deliver(Packet(b"x", i), None)
+                             for i in range(100)])
+        assert outcomes[0] == outcomes[1]
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            LossyChannel(1.5)
+
+
+class TestNIC:
+    def test_sequence_numbers(self):
+        channel = LossyChannel(0.0, seed=0)
+        received = []
+        nic = NIC(channel, receiver=received.append)
+        nic.send_raw(b"one")
+        nic.send_raw(b"two")
+        assert [packet.seq for packet in received] == [1, 2]
+        assert nic.tx_count == 2
+
+
+class TestCollector:
+    def test_receives_and_dedups(self):
+        collector = CrashDataCollector()
+        payload = encode_crash_packet("x86", 14, 0xC0100000, 0, 5, [],
+                                      "oops")
+        collector.receive(Packet(payload, 1))
+        collector.receive(Packet(payload, 1))       # duplicate seq
+        collector.receive(Packet(payload, 2))
+        assert collector.count == 2
+
+    def test_malformed_counted(self):
+        collector = CrashDataCollector()
+        collector.receive(Packet(b"garbage", 1))
+        assert collector.count == 0
+        assert collector.malformed == 1
+
+    def test_clear(self):
+        collector = CrashDataCollector()
+        payload = encode_crash_packet("x86", 14, 0, 0, 0, [], "")
+        collector.receive(Packet(payload, 1))
+        collector.clear()
+        assert collector.count == 0
+        assert collector.last() is None
+
+
+class TestWatchdog:
+    def test_expiry(self):
+        dog = Watchdog(timeout_cycles=1000)
+        dog.pet(0)
+        assert not dog.expired(900)
+        assert dog.expired(1001)
+        dog.pet(1001)
+        assert not dog.expired(1500)
+
+    def test_fire_and_reset(self):
+        dog = Watchdog(timeout_cycles=10)
+        dog.fire()
+        assert dog.fired
+        assert dog.reboots == 1
+        dog.reset()
+        assert not dog.fired
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            Watchdog(0)

@@ -1,0 +1,50 @@
+"""Cross-subsystem propagation analysis tests (paper Figure 7)."""
+
+import pytest
+
+from repro.analysis.propagation import (
+    PropagationEdge, code_propagation, propagation_rate,
+    render_propagation,
+)
+from repro.injection.campaign import run_campaign
+from repro.injection.outcomes import CampaignKind, InjectionResult, Outcome
+from repro.injection.targets import CodeTarget
+
+
+class TestEdgeMath:
+    def test_rate(self):
+        edges = [PropagationEdge("mm", "mm", 6, 100),
+                 PropagationEdge("mm", "net", 2, 13_116_444)]
+        assert propagation_rate(edges) == pytest.approx(25.0)
+        assert propagation_rate([]) == 0.0
+
+    def test_render_marks_crossings(self):
+        text = render_propagation([
+            PropagationEdge("mm", "net", 1, 13_116_444)])
+        assert "propagated" in text
+        assert "13116444" in text
+
+
+class TestSynthetic:
+    def test_builds_edges_from_results(self, x86_image):
+        info = x86_image.functions["free_pages_ok"]
+        target = CodeTarget("free_pages_ok", info.insn_addrs[0], 2, 1)
+        results = [InjectionResult(
+            arch="x86", kind=CampaignKind.CODE, target=target,
+            outcome=Outcome.CRASH_KNOWN, activation_cycles=0,
+            crash_cycles=13_116_444, function="alloc_skb",
+            subsystem="net")]
+        edges = code_propagation(results, x86_image)
+        assert edges == [PropagationEdge("mm", "net", 1, 13_116_444)]
+        assert propagation_rate(edges) == 100.0
+
+
+class TestMeasured:
+    def test_code_campaign_produces_edges(self, x86_context):
+        outcome = run_campaign("x86", CampaignKind.CODE, count=40,
+                               seed=17, ops=36)
+        edges = code_propagation(outcome.results,
+                                 x86_context.base_machine.image)
+        assert edges, "expected at least one crash edge"
+        text = render_propagation(edges)
+        assert "injected in" in text

@@ -1,0 +1,64 @@
+"""Per-subsystem sensitivity analysis tests."""
+
+from repro.analysis.sensitivity import (
+    SubsystemRow, code_target_sensitivity, crash_site_breakdown,
+    render_sensitivity,
+)
+from repro.injection.outcomes import CampaignKind, InjectionResult, Outcome
+from repro.injection.targets import CodeTarget
+
+
+def _result(outcome, subsystem="", function="free_pages_ok",
+            kind=CampaignKind.CODE):
+    target = CodeTarget(function, 0xC0100000, 2, 1)
+    return InjectionResult(arch="x86", kind=kind, target=target,
+                           outcome=outcome, subsystem=subsystem)
+
+
+class TestCrashSites:
+    def test_counts_known_crashes_only(self):
+        results = [
+            _result(Outcome.CRASH_KNOWN, "mm"),
+            _result(Outcome.CRASH_KNOWN, "mm"),
+            _result(Outcome.CRASH_KNOWN, "net"),
+            _result(Outcome.CRASH_UNKNOWN, "fs"),
+            _result(Outcome.NOT_MANIFESTED),
+        ]
+        sites = crash_site_breakdown(results)
+        assert sites == {"mm": 2, "net": 1}
+
+    def test_outside_text_bucket(self):
+        sites = crash_site_breakdown([_result(Outcome.CRASH_KNOWN, "")])
+        assert sites == {"(outside kernel text)": 1}
+
+
+class TestCodeSensitivity:
+    def test_per_subsystem_rates(self, x86_image):
+        results = [
+            _result(Outcome.CRASH_KNOWN, "mm",
+                    function="free_pages_ok"),
+            _result(Outcome.NOT_MANIFESTED, "",
+                    function="free_pages_ok"),
+            _result(Outcome.CRASH_KNOWN, "net", function="alloc_skb"),
+        ]
+        rows = code_target_sensitivity(results, x86_image)
+        by_name = {row.subsystem: row for row in rows}
+        assert by_name["mm"].injected == 2
+        assert by_name["mm"].manifested == 1
+        assert by_name["mm"].manifestation_pct == 50.0
+        assert by_name["net"].crashes == 1
+
+    def test_render(self, x86_image):
+        text = render_sensitivity(
+            [_result(Outcome.CRASH_KNOWN, "mm")], x86_image, "test")
+        assert "crash sites" in text
+        assert "mm" in text
+
+    def test_measured_campaign(self, x86_context):
+        from repro.injection.campaign import run_campaign
+        outcome = run_campaign("x86", CampaignKind.CODE, count=30,
+                               seed=23, ops=36)
+        rows = code_target_sensitivity(
+            outcome.results, x86_context.base_machine.image)
+        assert rows
+        assert sum(row.injected for row in rows) == 30

@@ -1,0 +1,93 @@
+"""Statistics helper tests (Wilson intervals, two-proportion z)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    Proportion, activation_interval, manifestation_interval,
+    proportions_differ, two_proportion_z, wilson,
+)
+from repro.analysis.tables import CampaignRow
+from repro.injection.outcomes import CampaignKind
+
+
+class TestWilson:
+    def test_known_value(self):
+        # classic check: 8/10 -> Wilson 95% ~ [0.490, 0.943]
+        interval = wilson(8, 10)
+        assert interval.low == pytest.approx(0.490, abs=0.005)
+        assert interval.high == pytest.approx(0.943, abs=0.005)
+
+    def test_extremes_stay_in_unit_interval(self):
+        assert wilson(0, 10).low == pytest.approx(0.0, abs=1e-12)
+        assert wilson(10, 10).high == pytest.approx(1.0, abs=1e-12)
+        assert wilson(0, 10).high > 0.0      # never degenerate
+
+    def test_zero_trials(self):
+        interval = wilson(0, 0)
+        assert (interval.low, interval.high) == (0.0, 1.0)
+        assert interval.point == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson(5, 3)
+        with pytest.raises(ValueError):
+            wilson(-1, 3)
+
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=1, max_value=500))
+    def test_interval_contains_point(self, successes, extra):
+        trials = successes + extra
+        interval = wilson(successes, trials)
+        assert interval.low <= interval.point <= interval.high
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_interval_narrows_with_n(self, n):
+        small = wilson(n, 2 * n)
+        large = wilson(10 * n, 20 * n)
+        assert (large.high - large.low) <= (small.high - small.low)
+
+    def test_str(self):
+        assert "[" in str(wilson(8, 10))
+
+
+class TestTwoProportion:
+    def test_clearly_different(self):
+        # 56% of 2973 vs 21% of 1203 (the paper's stack manifestation)
+        assert proportions_differ(1665, 2973, 253, 1203)
+
+    def test_identical_is_zero(self):
+        assert two_proportion_z(10, 100, 10, 100) == 0.0
+
+    def test_small_samples_not_significant(self):
+        assert not proportions_differ(3, 10, 2, 10)
+
+    def test_degenerate_inputs(self):
+        assert two_proportion_z(0, 0, 5, 10) == 0.0
+        assert two_proportion_z(0, 10, 0, 10) == 0.0
+
+
+class TestRowAdapters:
+    def _row(self, activated=50):
+        return CampaignRow(kind=CampaignKind.STACK, injected=100,
+                           activated=activated, not_manifested=20,
+                           fsv=2, crash_known=20, hang_unknown=8)
+
+    def test_manifestation_interval(self):
+        interval = manifestation_interval(self._row())
+        assert interval.successes == 30
+        assert interval.trials == 50
+        assert interval.low < 0.6 < interval.high
+
+    def test_activation_interval(self):
+        interval, observable = activation_interval(self._row())
+        assert observable
+        assert interval.point == pytest.approx(0.5)
+
+    def test_register_na(self):
+        row = CampaignRow(kind=CampaignKind.REGISTER, injected=100,
+                          activated=None, not_manifested=90, fsv=0,
+                          crash_known=7, hang_unknown=3)
+        _, observable = activation_interval(row)
+        assert not observable

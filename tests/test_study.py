@@ -1,0 +1,66 @@
+"""Public-API tests: StudyConfig and Study orchestration."""
+
+import pytest
+
+from repro.core import CampaignKind, Study, StudyConfig
+from repro.core.config import EXPERIMENT_SETUP, PAPER_CAMPAIGN_SIZES
+
+
+class TestConfig:
+    def test_paper_sizes_sum_to_paper_totals(self):
+        assert sum(PAPER_CAMPAIGN_SIZES["x86"].values()) == 61_799
+        assert sum(PAPER_CAMPAIGN_SIZES["ppc"].values()) == 55_172
+        total = sum(PAPER_CAMPAIGN_SIZES["x86"].values()) + \
+            sum(PAPER_CAMPAIGN_SIZES["ppc"].values())
+        assert total > 115_000            # "over 115,000 faults/errors"
+
+    def test_scaling(self):
+        config = StudyConfig(scale=0.01, min_campaign=10)
+        assert config.campaign_count("x86", CampaignKind.DATA) == 460
+        assert config.campaign_count("x86", CampaignKind.CODE) == 18
+
+    def test_min_campaign_floor(self):
+        config = StudyConfig(scale=0.0001, min_campaign=40)
+        assert config.campaign_count("ppc", CampaignKind.CODE) == 40
+
+    def test_overrides_win(self):
+        config = StudyConfig(overrides={
+            "ppc": {CampaignKind.STACK: 7}})
+        assert config.campaign_count("ppc", CampaignKind.STACK) == 7
+        assert config.campaign_count("x86", CampaignKind.STACK) != 7
+
+    def test_experiment_setup_matches_paper_table1(self):
+        assert EXPERIMENT_SETUP["x86"]["cpu_clock_ghz"] == 1.5
+        assert EXPERIMENT_SETUP["ppc"]["cpu_clock_ghz"] == 1.0
+        assert EXPERIMENT_SETUP["x86"]["linux_kernel"] == "2.4.22"
+        assert EXPERIMENT_SETUP["ppc"]["compiler"] == "GCC 3.2.2"
+
+
+class TestStudySmall:
+    @pytest.fixture(scope="class")
+    def tiny_study(self):
+        config = StudyConfig(seed=8, ops=36, overrides={
+            arch: {CampaignKind.DATA: 40, CampaignKind.STACK: 30}
+            for arch in ("x86", "ppc")})
+        study = Study(config)
+        for arch in ("x86", "ppc"):
+            study.run_campaign(arch, CampaignKind.DATA)
+            study.run_campaign(arch, CampaignKind.STACK)
+        return study
+
+    def test_results_accumulate(self, tiny_study):
+        assert len(tiny_study.results_for("x86",
+                                          CampaignKind.DATA)) == 40
+        assert len(tiny_study.results_for("x86")) == 70
+
+    def test_render_table(self, tiny_study):
+        text = tiny_study.render_table("x86")
+        assert "Stack" in text
+        assert "Table 5" in text
+
+    def test_render_figures(self, tiny_study):
+        text = tiny_study.render_figure(6)
+        assert "Stack Injection" in text
+        latency = tiny_study.render_latency_figure()
+        assert "Figure 16(A)" in latency
+        assert "PPC" in latency and "Pentium" in latency

@@ -1,0 +1,132 @@
+"""Workload, probe, and profiler tests."""
+
+import pytest
+
+from repro.machine.machine import KSTACK_SIZE, Machine
+from repro.workload.driver import UnixBenchDriver, run_clean_workload
+from repro.workload.probe import probe_clean_run
+from repro.workload.profiler import profile_kernel
+from repro.workload.programs import (
+    FsTime, PipeThroughput, SyscallLoop, collect_fsv, default_mix,
+)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("arch", ["x86", "ppc"])
+    def test_clean_run_is_fail_silent(self, arch):
+        result = run_clean_workload(arch, seed=3, ops=24)
+        assert result.completed_ops == 24
+        assert not result.fail_silence_violated
+        assert result.syscalls > 24          # ops issue >=1 syscall
+
+    def test_determinism(self):
+        a = run_clean_workload("ppc", seed=9, ops=16)
+        b = run_clean_workload("ppc", seed=9, ops=16)
+        assert a.syscalls == b.syscalls
+        assert a.timer_ticks == b.timer_ticks
+
+
+class TestFSVDetection:
+    def test_detects_corrupted_file_data(self, booted_x86):
+        machine = booted_x86.fork()
+        driver = UnixBenchDriver(machine, seed=0)
+        driver.setup()
+        # corrupt the buffer cache behind the kernel's back (every
+        # buffer slot, so the one caching the test file is hit)
+        info = machine.image.globals["buffer_data"]
+        for slot in range(16):
+            offset = info.addr + slot * 256 + 10
+            machine.cpu.mem.write_u8(
+                offset, machine.cpu.mem.read_u8(offset) ^ 0xFF)
+        result = driver.run(30)
+        assert result.fail_silence_violated
+
+    def test_detects_wrong_return_value(self, booted_ppc):
+        machine = booted_ppc.fork()
+        driver = UnixBenchDriver(machine, seed=0)
+        driver.setup()
+        # shrink an inode so reads come back short
+        machine.write_global("inode_sizes", 8, index=0)
+        result = driver.run(12)
+        assert result.fail_silence_violated
+
+
+class TestProbe:
+    @pytest.mark.parametrize("context_name",
+                             ["x86_context", "ppc_context"])
+    def test_probe_matches_base_machine(self, context_name, request):
+        context = request.getfixturevalue(context_name)
+        assert context.probe.boot_instret == \
+            context.base_machine.cpu.instret
+        assert not context.probe.fsv_clean
+        assert context.probe.total_instret > context.probe.boot_instret
+
+    def test_first_access_after(self, x86_context):
+        probe = x86_context.probe
+        jiffies = x86_context.base_machine.global_addr("jiffies")
+        hit = probe.first_access_after(probe.boot_instret, jiffies, 4)
+        assert hit is not None
+        # beyond the end of the run: nothing
+        assert probe.first_access_after(probe.total_instret + 1,
+                                        jiffies, 4) is None
+
+    def test_cold_table_never_accessed(self, x86_context):
+        probe = x86_context.probe
+        cold = x86_context.base_machine.global_addr("console_font")
+        assert probe.first_access_after(0, cold + 100, 1) is None
+
+    def test_stack_depth_ratio_g4_over_p4(self, x86_context,
+                                          ppc_context):
+        """The G4's runtime stacks are about twice the P4's (paper
+        Section 5.1)."""
+        def mean_depth(context):
+            machine = context.base_machine
+            allocations = {
+                pid: (task.stack_base, task.stack_base + KSTACK_SIZE)
+                for pid, task in machine.tasks.items()}
+            depths = context.probe.measured_stack_depth(allocations)
+            used = [d for d in depths.values() if d < KSTACK_SIZE]
+            return sum(used) / len(used)
+
+        ratio = mean_depth(ppc_context) / mean_depth(x86_context)
+        assert 1.4 < ratio < 4.0
+
+    def test_executed_pcs_inside_text(self, ppc_context):
+        image = ppc_context.base_machine.image
+        inside = [pc for pc in ppc_context.probe.executed_pcs
+                  if image.text_base <= pc < image.text_end]
+        assert len(inside) > 0.95 * len(ppc_context.probe.executed_pcs)
+
+
+class TestProfiler:
+    @pytest.mark.parametrize("arch", ["x86", "ppc"])
+    def test_hot_functions_cover(self, arch):
+        profile = profile_kernel(arch, seed=0, ops=16)
+        hot = profile.hot_functions(0.95)
+        total = sum(profile.counts.values())
+        covered = sum(profile.counts[name] for name, _ in hot
+                      if name in profile.counts)
+        assert covered / total >= 0.95
+        assert "memcpy" in dict(hot)          # the workload's hottest
+
+    def test_coverage_parameter(self):
+        profile = profile_kernel("ppc", seed=0, ops=12)
+        small = profile.hot_functions(0.5)
+        large = profile.hot_functions(0.999)
+        assert len(large) >= len(small)
+
+
+class TestPrograms:
+    def test_default_mix_shapes(self):
+        mix = default_mix(0)
+        assert len(mix) == 3
+        names = {program.name for program in mix}
+        assert "fstime" in names
+
+    def test_fsv_collection_includes_submixes(self, booted_x86):
+        machine = booted_x86.fork()
+        programs = default_mix(0)
+        for program in programs:
+            program._fsv("x", "y")
+        events = collect_fsv(programs)
+        assert len(events) >= 3

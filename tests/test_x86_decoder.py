@@ -1,0 +1,127 @@
+"""Decoder tests for the P4-like core: lengths, forms, density."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.x86 import decoder
+from repro.x86.decoder import decode, exec_invalid
+
+PAD = b"\x00" * decoder.MAX_INSN_LEN
+
+
+def d(raw: bytes):
+    return decode(raw + PAD, 0)
+
+
+class TestLengths:
+    @pytest.mark.parametrize("raw,length,mnemonic", [
+        (b"\x90", 1, "nop"),
+        (b"\xc3", 1, "ret"),
+        (b"\x55", 1, "push"),
+        (b"\x5d", 1, "pop"),
+        (b"\x89\xe5", 2, "mov"),
+        (b"\x8b\x45\xfc", 3, "mov"),
+        (b"\x8d\x65\xf4", 3, "lea"),
+        (b"\xb8\x07\x00\x00\x00", 5, "mov"),
+        (b"\xe8\x00\x00\x00\x00", 5, "call"),
+        (b"\x0f\x0b", 2, "ud2a"),
+        (b"\x83\xec\x10", 3, "grp1s"),
+        (b"\x81\xc4\x00\x01\x00\x00", 6, "grp1"),
+        (b"\xcd\x80", 2, "int"),
+        (b"\x74\x27", 2, "je"),
+        (b"\x0f\x84\x10\x00\x00\x00", 6, "je"),
+        (b"\x8b\x8a\xe0\x7a\x43\xc0", 6, "mov"),      # paper fig 7
+        (b"\xf7\xf1", 2, "grp3"),
+        (b"\x66\x89\x45\xe0", 4, "mov"),              # 16-bit prefix
+    ])
+    def test_known_lengths(self, raw, length, mnemonic):
+        instr = d(raw)
+        assert instr.length == length
+        assert instr.mnemonic == mnemonic
+
+    def test_paper_figure7_corruption(self):
+        """8d 65 f4 -> flip turns it into lea 0x5b(...,%esi,8),%esp.
+
+        The paper's Figure 7: one bit flip merges `lea -0xc(%ebp),%esp`
+        and the following `pop %ebx` (5b) into a single longer lea with
+        a SIB byte, desynchronizing the stream.
+        """
+        original = d(b"\x8d\x65\xf4\x5b\x5e\x5f\x5d\xc3")
+        assert original.length == 3
+        corrupted = d(b"\x8d\x64\xf4\x5b\x5e\x5f\x5d\xc3")
+        assert corrupted.mnemonic == "lea"
+        assert corrupted.length == 4           # consumed the pop %ebx
+        assert corrupted.index == 6            # %esi
+        assert corrupted.scale == 8
+        assert corrupted.disp == 0x5B
+
+    def test_invalid_opcode_decodes_to_ud(self):
+        instr = d(b"\xd8\x00")                 # FPU escape: not modelled
+        assert instr.execute is exec_invalid
+
+
+class TestModRM:
+    def test_register_form(self):
+        instr = d(b"\x89\xe5")                 # mov %esp,%ebp
+        assert instr.rm_reg == 5
+        assert instr.reg == 4
+
+    def test_disp8(self):
+        instr = d(b"\x8b\x45\xe0")             # mov -0x20(%ebp),%eax
+        assert instr.base == 5
+        assert instr.disp == 0xFFFFFFE0
+
+    def test_disp32_absolute(self):
+        instr = d(b"\x8b\x0d\xe0\x7a\x43\xc0")
+        assert instr.base == -1
+        assert instr.index == -1
+        assert instr.disp == 0xC0437AE0
+
+    def test_sib_scaled_index(self):
+        instr = d(b"\x8b\x04\x8d\x00\x00\x30\xc0")
+        # mov 0xc0300000(,%ecx,4),%eax
+        assert instr.index == 1
+        assert instr.scale == 4
+        assert instr.disp == 0xC0300000
+
+    def test_esp_base_requires_sib(self):
+        instr = d(b"\x89\x04\x24")             # mov %eax,(%esp)
+        assert instr.base == 4
+        assert instr.index == -1
+
+
+class TestPrefixes:
+    def test_operand_size(self):
+        instr = d(b"\x66\x89\x45\xe0")
+        assert instr.width == 2
+
+    def test_fs_override(self):
+        instr = d(b"\x64\x8b\x05\x00\x00\x00\x00")
+        assert instr.seg == 4                  # SEG_FS
+
+    def test_lock_ignored(self):
+        instr = d(b"\xf0\x01\x03")
+        assert instr.mnemonic == "add"
+
+    def test_rep_movsd(self):
+        instr = d(b"\xf3\xa5")
+        assert instr.mnemonic == "rep movsd"
+        assert instr.op2 == 1
+
+
+class TestDensity:
+    def test_majority_of_single_bytes_decode(self):
+        """Most one-byte opcodes are defined — the variable-length ISA
+        property that keeps the P4's Invalid-Instruction share low."""
+        valid = 0
+        for opcode in range(256):
+            instr = d(bytes([opcode]))
+            if instr.execute is not exec_invalid:
+                valid += 1
+        assert valid >= 160, f"only {valid}/256 first bytes decode"
+
+    @given(st.binary(min_size=decoder.MAX_INSN_LEN,
+                     max_size=decoder.MAX_INSN_LEN))
+    def test_never_raises_and_length_bounded(self, raw):
+        instr = decode(raw, 0)
+        assert 1 <= instr.length <= decoder.MAX_INSN_LEN

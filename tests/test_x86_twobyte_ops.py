@@ -1,0 +1,147 @@
+"""Two-byte (0F xx) opcode semantics: setcc, cmovcc, bit ops, shld."""
+
+import pytest
+
+from repro.isa.memory import Region
+from repro.x86.cpu import X86CPU
+from repro.x86.registers import FLAG_CF, FLAG_ZF
+
+TEXT = 0xC0100000
+DATA = 0xC0300000
+STACK = 0xC0500000
+
+
+def run_bytes(code: bytes, steps: int, setup=None) -> X86CPU:
+    cpu = X86CPU()
+    cpu.aspace.map_region(Region(TEXT, 0x1000, "rx", "text"))
+    cpu.aspace.map_region(Region(DATA, 0x1000, "rwx", "data"))
+    cpu.aspace.map_region(Region(STACK, 0x2000, "rw", "stack"))
+    cpu.regs[4] = STACK + 0x2000 - 16
+    cpu.mem.write(TEXT, code)
+    cpu.eip = TEXT
+    if setup:
+        setup(cpu)
+    for _ in range(steps):
+        cpu.step()
+    return cpu
+
+
+class TestSetcc:
+    def test_sete_true(self):
+        # xor eax,eax ; sete bl
+        cpu = run_bytes(b"\x31\xc0\x0f\x94\xc3", 2)
+        assert cpu.get_reg(3, 1) == 1
+
+    def test_setne_false(self):
+        cpu = run_bytes(b"\x31\xc0\x0f\x95\xc3", 2)
+        assert cpu.get_reg(3, 1) == 0
+
+    def test_setb_to_memory(self):
+        # stc ; setb [DATA]
+        code = b"\xf9\x0f\x92\x05" + DATA.to_bytes(4, "little")
+        cpu = run_bytes(code, 2)
+        assert cpu.mem.read_u8(DATA) == 1
+
+
+class TestCmov:
+    def test_cmove_taken(self):
+        def setup(cpu):
+            cpu.regs[1] = 77
+        # xor eax,eax (ZF=1) ; cmove eax, ecx
+        cpu = run_bytes(b"\x31\xc0\x0f\x44\xc1", 2, setup)
+        assert cpu.regs[0] == 77
+
+    def test_cmovne_not_taken(self):
+        def setup(cpu):
+            cpu.regs[0] = 5
+            cpu.regs[1] = 77
+        # test eax,eax (ZF=0 since 5) ; cmove eax, ecx -> not taken
+        cpu = run_bytes(b"\x85\xc0\x0f\x44\xc1", 2, setup)
+        assert cpu.regs[0] == 5
+
+
+class TestBitOps:
+    def test_bt_sets_cf(self):
+        def setup(cpu):
+            cpu.regs[0] = 0b100
+            cpu.regs[1] = 2
+        cpu = run_bytes(b"\x0f\xa3\xc8", 1, setup)   # bt eax, ecx
+        assert cpu.eflags & FLAG_CF
+
+    def test_bts_sets_bit(self):
+        def setup(cpu):
+            cpu.regs[0] = 0
+            cpu.regs[1] = 7
+        cpu = run_bytes(b"\x0f\xab\xc8", 1, setup)   # bts eax, ecx
+        assert cpu.regs[0] == 0x80
+        assert not cpu.eflags & FLAG_CF
+
+    def test_btr_imm(self):
+        def setup(cpu):
+            cpu.regs[3] = 0xFF
+        cpu = run_bytes(b"\x0f\xba\xf3\x04", 1, setup)  # btr ebx, 4
+        assert cpu.regs[3] == 0xEF
+        assert cpu.eflags & FLAG_CF
+
+    def test_bsf_bsr(self):
+        def setup(cpu):
+            cpu.regs[1] = 0x00010800
+        cpu = run_bytes(b"\x0f\xbc\xc1\x0f\xbd\xd1", 2, setup)
+        assert cpu.regs[0] == 11          # bsf
+        assert cpu.regs[2] == 16          # bsr
+
+    def test_bsf_zero_sets_zf(self):
+        def setup(cpu):
+            cpu.regs[1] = 0
+            cpu.regs[0] = 99
+        cpu = run_bytes(b"\x0f\xbc\xc1", 1, setup)
+        assert cpu.eflags & FLAG_ZF
+        assert cpu.regs[0] == 99          # destination unchanged
+
+
+class TestDoubleShift:
+    def test_shld(self):
+        def setup(cpu):
+            cpu.regs[0] = 0x0000BEEF      # destination
+            cpu.regs[1] = 0xDEAD0000      # filler
+        # shld eax, ecx, 16
+        cpu = run_bytes(b"\x0f\xa4\xc8\x10", 1, setup)
+        assert cpu.regs[0] == 0xBEEFDEAD
+
+    def test_shrd(self):
+        def setup(cpu):
+            cpu.regs[0] = 0xBEEF0000
+            cpu.regs[1] = 0x0000DEAD
+        cpu = run_bytes(b"\x0f\xac\xc8\x10", 1, setup)
+        assert cpu.regs[0] == 0xDEADBEEF
+
+
+class TestAtomics:
+    def test_xadd(self):
+        def setup(cpu):
+            cpu.regs[0] = 10
+            cpu.regs[1] = 3
+        cpu = run_bytes(b"\x0f\xc1\xc8", 1, setup)   # xadd eax, ecx
+        assert cpu.regs[0] == 13
+        assert cpu.regs[1] == 10
+
+    def test_cmpxchg_success(self):
+        def setup(cpu):
+            cpu.mem.write_u32(DATA, 42, True)
+            cpu.regs[0] = 42              # eax matches
+            cpu.regs[3] = 99              # replacement
+        code = b"\x0f\xb1\x1d" + DATA.to_bytes(4, "little")
+        cpu = run_bytes(code, 1, setup)
+        assert cpu.mem.read_u32(DATA, True) == 99
+        assert cpu.eflags & FLAG_ZF
+
+    def test_cmpxchg_failure_loads_eax(self):
+        def setup(cpu):
+            cpu.mem.write_u32(DATA, 7, True)
+            cpu.regs[0] = 42
+            cpu.regs[3] = 99
+        code = b"\x0f\xb1\x1d" + DATA.to_bytes(4, "little")
+        cpu = run_bytes(code, 1, setup)
+        assert cpu.mem.read_u32(DATA, True) == 7
+        assert cpu.regs[0] == 7
+        assert not cpu.eflags & FLAG_ZF
