@@ -1,0 +1,55 @@
+"""Serial vs parallel campaign throughput (the sharded engine).
+
+Times the same register campaign — the most expensive kind per
+injection, since registers are never screened — at 1, 2, and 4 worker
+processes.  The workers=1 row is the unchanged in-process serial loop;
+the parallel rows pay one CampaignContext rebuild per worker and then
+scale with the shard work, so on a multi-core host 4 workers should
+show >= 2x the serial throughput at these sizes (on a single core the
+rows mostly measure the engine's overhead).
+
+Scale with ``REPRO_BENCH_SCALE`` like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.injection.campaign import (
+    Campaign, CampaignConfig, CampaignContext,
+)
+from repro.injection.outcomes import CampaignKind
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+COUNT = max(24, int(48 * _SCALE))
+
+
+@pytest.fixture(scope="module")
+def register_context() -> CampaignContext:
+    return CampaignContext.get("x86", seed=11, ops=40)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_parallel_register_campaign(benchmark, workers,
+                                          register_context):
+    config = CampaignConfig(arch="x86", kind=CampaignKind.REGISTER,
+                            count=COUNT, seed=11, ops=40)
+    state = {}
+
+    def run_once():
+        start = time.perf_counter()
+        state["result"] = Campaign(config, register_context).run(
+            workers=workers)
+        state["elapsed"] = time.perf_counter() - start
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+    result = state["result"]
+    assert result.injected == COUNT
+    assert not result.failures
+    throughput = COUNT / state["elapsed"]
+    print(f"\nworkers={workers}: {COUNT} injections in "
+          f"{state['elapsed']:.2f}s = {throughput:.1f} inj/s "
+          f"({os.cpu_count()} cores)")

@@ -37,9 +37,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="monitored workload window (operations)")
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}")
+    return value
+
+
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="campaign worker processes (default 1 = serial; any "
+        "value gives bit-identical results)")
+
+
 def cmd_study(args: argparse.Namespace) -> int:
     config = StudyConfig(seed=args.seed, scale=args.scale,
-                         ops=args.ops)
+                         ops=args.ops, workers=args.workers)
     study = Study(config)
     for arch in ("x86", "ppc"):
         for kind in CampaignKind:
@@ -54,7 +69,8 @@ def cmd_study(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     kind = CampaignKind(args.kind)
     outcome = run_campaign(args.arch, kind, count=args.count,
-                           seed=args.seed, ops=args.ops)
+                           seed=args.seed, ops=args.ops,
+                           workers=args.workers)
     row = build_row(kind, outcome.results)
     print(render_table([row],
                        "Pentium 4" if args.arch == "x86" else "PPC G4"))
@@ -139,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fraction of the paper's campaign sizes")
     study.add_argument("--seed", type=int, default=0)
     study.add_argument("--ops", type=int, default=40)
+    _add_workers(study)
     study.set_defaults(func=cmd_study)
 
     campaign = sub.add_parser("campaign", help="run one campaign")
@@ -148,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("-n", "--count", type=int, default=100)
     campaign.add_argument("--json", metavar="PATH",
                           help="also dump results as JSON lines")
+    _add_workers(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
     profile = sub.add_parser("profile", help="kernel usage profile")

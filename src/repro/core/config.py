@@ -53,7 +53,10 @@ class StudyConfig:
     ``scale`` scales the paper's campaign sizes (1.0 = the full
     115,000+ injections; the default 0.02 runs in minutes on a laptop
     while keeping the distribution shapes stable).  ``overrides`` pins
-    exact campaign sizes when given.
+    exact campaign sizes when given.  ``workers`` is the number of
+    campaign worker processes (1 = in-process serial loop; any value
+    produces bit-identical results, see
+    :mod:`repro.injection.parallel`).
     """
 
     seed: int = 0
@@ -61,6 +64,7 @@ class StudyConfig:
     ops: int = 48
     dump_loss_probability: float = 0.08
     min_campaign: int = 40
+    workers: int = 1
     overrides: Dict[str, Dict[CampaignKind, int]] = field(
         default_factory=dict)
 

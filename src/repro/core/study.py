@@ -51,7 +51,9 @@ class Study:
     # -- running -----------------------------------------------------------
 
     def run_campaign(self, arch: str, kind: CampaignKind,
-                     count: Optional[int] = None) -> List[InjectionResult]:
+                     count: Optional[int] = None,
+                     workers: Optional[int] = None
+                     ) -> List[InjectionResult]:
         config = self.config
         campaign_config = CampaignConfig(
             arch=arch, kind=kind,
@@ -60,7 +62,8 @@ class Study:
             seed=config.seed, ops=config.ops,
             dump_loss_probability=config.dump_loss_probability)
         context = CampaignContext.get(arch, config.seed, config.ops)
-        outcome = Campaign(campaign_config, context).run()
+        outcome = Campaign(campaign_config, context).run(
+            workers=workers if workers is not None else config.workers)
         self.results.setdefault(arch, {})[kind] = outcome.results
         return outcome.results
 

@@ -22,6 +22,7 @@ from repro.injection.targets import (
 )
 from repro.injection.collector import CrashDataCollector
 from repro.injection.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.injection.parallel import ShardFailure, run_parallel
 
 __all__ = [
     "Outcome", "CampaignKind", "CrashCauseP4", "CrashCauseG4",
@@ -30,4 +31,5 @@ __all__ = [
     "TargetGenerator",
     "CrashDataCollector",
     "Campaign", "CampaignConfig", "CampaignResult",
+    "ShardFailure", "run_parallel",
 ]

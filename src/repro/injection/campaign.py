@@ -5,11 +5,15 @@ probe proves can never activate (no reboot needed for those — exactly
 the paper's "Error Not Activated: proceed to the next injection without
 rebooting"), and fully simulates the rest, rebooting (forking a fresh
 machine) between experiments.
+
+``Campaign.run(workers=N)`` shards the pre-generated target list across
+worker processes (see :mod:`repro.injection.parallel`) — NFTAPE's
+multiple-target-node trick.  The parallel path is bit-identical to the
+serial one: per-target seeds derive from the *global* target index.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -41,6 +45,10 @@ class CampaignConfig:
 class CampaignResult:
     config: CampaignConfig
     results: List[InjectionResult] = field(default_factory=list)
+    #: ShardFailure records from the parallel engine (empty on the
+    #: serial path; a recovered failure means its shard was retried
+    #: serially and its results are present in ``results`` as usual)
+    failures: list = field(default_factory=list)
 
     @property
     def injected(self) -> int:
@@ -92,6 +100,17 @@ class CampaignContext:
         if key not in cls._cache:
             cls._cache[key] = cls(arch, seed, ops)
         return cls._cache[key]
+
+    @classmethod
+    def clear_cache(cls) -> None:
+        """Drop every cached context.
+
+        The cache is process-global and never invalidated on its own;
+        worker processes call this on startup so a forked child always
+        rebuilds from ``(arch, seed, ops)``, and the test suite calls
+        it so session fixtures can't leak between parametrized arches.
+        """
+        cls._cache.clear()
 
     @property
     def run_window(self) -> tuple:
@@ -149,33 +168,46 @@ class Campaign:
 
     # -- the loop -----------------------------------------------------------------
 
-    def run(self, progress=None) -> CampaignResult:
+    def run_target(self, index: int, target) -> InjectionResult:
+        """Run one pre-generated target.
+
+        *index* is the target's **global** position in the campaign's
+        pre-generated list: the per-experiment seed derives from it, so
+        any execution order (serial loop, any sharding) produces the
+        same result for the same target.
+        """
         config = self.config
-        out = CampaignResult(config=config)
+        if self._screen_not_activated(target):
+            return InjectionResult(
+                arch=config.arch, kind=config.kind, target=target,
+                outcome=Outcome.NOT_ACTIVATED, screened=True)
+        spec = RunSpec(
+            base_machine=self.context.base_machine,
+            base_programs=self.context.base_programs,
+            kind=config.kind,
+            target=target,
+            ops=config.ops,
+            seed=config.seed + index * 7919,
+            dump_loss_probability=config.dump_loss_probability)
+        return InjectionRun(spec).execute()
+
+    def run(self, progress=None, workers: int = 1) -> CampaignResult:
+        if workers > 1:
+            from repro.injection.parallel import run_parallel
+            return run_parallel(self, workers, progress=progress)
+        out = CampaignResult(config=self.config)
         targets = self.generate_targets()
         for index, target in enumerate(targets):
-            if self._screen_not_activated(target):
-                out.results.append(InjectionResult(
-                    arch=config.arch, kind=config.kind, target=target,
-                    outcome=Outcome.NOT_ACTIVATED, screened=True))
-            else:
-                spec = RunSpec(
-                    base_machine=self.context.base_machine,
-                    base_programs=self.context.base_programs,
-                    kind=config.kind,
-                    target=target,
-                    ops=config.ops,
-                    seed=config.seed + index * 7919,
-                    dump_loss_probability=config.dump_loss_probability)
-                out.results.append(InjectionRun(spec).execute())
+            out.results.append(self.run_target(index, target))
             if progress is not None:
                 progress(index + 1, len(targets))
         return out
 
 
 def run_campaign(arch: str, kind: CampaignKind, count: int,
-                 seed: int = 0, ops: int = 48) -> CampaignResult:
+                 seed: int = 0, ops: int = 48,
+                 workers: int = 1) -> CampaignResult:
     """One-call convenience wrapper."""
     config = CampaignConfig(arch=arch, kind=kind, count=count, seed=seed,
                             ops=ops)
-    return Campaign(config).run()
+    return Campaign(config).run(workers=workers)

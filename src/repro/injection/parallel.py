@@ -1,0 +1,180 @@
+"""Parallel sharded campaign engine (NFTAPE's multiple target nodes).
+
+Every injection experiment forks an independent machine from the shared
+:class:`~repro.injection.campaign.CampaignContext`, so a campaign is
+embarrassingly parallel.  This module shards a campaign's pre-generated
+target list across ``multiprocessing`` worker processes and merges the
+shard results back into one :class:`CampaignResult`, under a strict
+**serial-equivalence contract**:
+
+* targets are pre-generated **once, in the parent** — the target list
+  is exactly the serial path's list;
+* each target travels with its **global** index, and the per-experiment
+  seed stays ``config.seed + global_index * 7919`` — identical to the
+  serial derivation, regardless of which shard runs it;
+* every worker rebuilds its own ``CampaignContext`` from
+  ``(arch, seed, ops)`` on startup (machines don't pickle; context
+  construction is deterministic, so the rebuilt context is equivalent
+  to the parent's), after clearing the process-global context cache;
+* merged results are ordered by global index, so the result sequence is
+  bit-identical to ``workers=1``.
+
+Graceful degradation: a shard whose worker raises (or whose process
+dies, breaking the pool) is retried **once, serially, in the parent**;
+the failure is recorded as a :class:`ShardFailure` on
+``CampaignResult.failures`` rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.injection.campaign import (
+    Campaign, CampaignConfig, CampaignContext, CampaignResult,
+)
+from repro.injection.outcomes import InjectionResult
+
+#: shards per worker — finer than 1:1 so a fast worker steals work from
+#: a slow one and the progress callback ticks at sub-worker granularity
+SHARDS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One worker-side shard failure and how it was handled."""
+
+    shard: int                 # shard index
+    error: str                 # "ExceptionType: message" from the worker
+    recovered: bool            # True when the serial retry succeeded
+
+
+def shard_targets(count: int, workers: int
+                  ) -> List[Tuple[int, int]]:
+    """Split ``range(count)`` into contiguous ``(start, stop)`` shards.
+
+    At most ``workers * SHARDS_PER_WORKER`` shards, never empty ones;
+    the concatenation of all shards is exactly ``range(count)`` in
+    order, so global indices survive sharding untouched.
+    """
+    if count <= 0:
+        return []
+    n_shards = min(count, max(1, workers) * SHARDS_PER_WORKER)
+    base, extra = divmod(count, n_shards)
+    shards: List[Tuple[int, int]] = []
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        shards.append((start, start + size))
+        start += size
+    return shards
+
+
+# -- worker side -------------------------------------------------------------
+
+#: per-worker-process state, set once by the pool initializer
+_WORKER_CONTEXT: Dict[str, Optional[CampaignContext]] = {"context": None}
+
+
+def _worker_init(arch: str, seed: int, ops: int) -> None:
+    """Build this worker's own context (runs once per worker process)."""
+    CampaignContext.clear_cache()
+    _WORKER_CONTEXT["context"] = CampaignContext.get(arch, seed, ops)
+
+
+def _run_shard(payload):
+    """Execute one shard; never raises (errors travel in the return).
+
+    *payload* is ``(shard_index, config, items, fail)`` where *items*
+    is a list of ``(global_index, target)`` pairs and *fail* is a test
+    hook that simulates a worker dying mid-shard.
+    """
+    shard_index, config, items, fail = payload
+    try:
+        if fail:
+            raise RuntimeError(
+                f"injected worker failure in shard {shard_index}")
+        campaign = Campaign(config, _WORKER_CONTEXT["context"])
+        results = [(index, campaign.run_target(index, target))
+                   for index, target in items]
+        return shard_index, results, None
+    except Exception as exc:               # noqa: BLE001 — reported to parent
+        return shard_index, None, f"{type(exc).__name__}: {exc}"
+
+
+# -- parent side -------------------------------------------------------------
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+def run_parallel(campaign: Campaign, workers: int, progress=None,
+                 fail_shards: Optional[Sequence[int]] = None
+                 ) -> CampaignResult:
+    """Run *campaign* across *workers* processes.
+
+    Bit-identical to ``campaign.run()``; see the module docstring for
+    the contract.  *progress* is the same ``(done, total)`` callback
+    the serial loop takes, called once per completed shard.
+    *fail_shards* injects worker-side failures for the degradation
+    tests.
+    """
+    config = campaign.config
+    targets = campaign.generate_targets()
+    total = len(targets)
+    out = CampaignResult(config=config)
+    if total == 0:
+        return out
+
+    fail_set = set(fail_shards or ())
+    payloads = []
+    for shard_index, (start, stop) in enumerate(
+            shard_targets(total, workers)):
+        items = [(index, targets[index]) for index in range(start, stop)]
+        payloads.append((shard_index, config, items,
+                         shard_index in fail_set))
+    workers = min(workers, len(payloads))
+
+    merged: List[Tuple[int, InjectionResult]] = []
+    done = 0
+
+    def shard_finished(shard_results) -> None:
+        nonlocal done
+        merged.extend(shard_results)
+        done += len(shard_results)
+        if progress is not None:
+            progress(done, total)
+
+    with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context(),
+            initializer=_worker_init,
+            initargs=(config.arch, config.seed, config.ops)) as pool:
+        futures = {pool.submit(_run_shard, payload): payload
+                   for payload in payloads}
+        for future in as_completed(futures):
+            payload = futures[future]
+            try:
+                shard_index, results, error = future.result()
+            except Exception as exc:       # worker process died
+                shard_index = payload[0]
+                results, error = None, f"{type(exc).__name__}: {exc}"
+            if error is not None:
+                # degrade gracefully: retry the shard once, serially,
+                # in the parent (which holds an equivalent context)
+                items = payload[2]
+                results = [(index, campaign.run_target(index, target))
+                           for index, target in items]
+                out.failures.append(ShardFailure(
+                    shard=shard_index, error=error, recovered=True))
+            shard_finished(results)
+
+    merged.sort(key=lambda pair: pair[0])
+    if [index for index, _result in merged] != list(range(total)):
+        raise RuntimeError("parallel merge lost targets: got "
+                           f"{len(merged)} of {total}")
+    out.results.extend(result for _index, result in merged)
+    return out

@@ -14,6 +14,19 @@ from repro.kernel.build import build_kernel, kernel_program
 from repro.machine.machine import Machine
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_campaign_context_cache():
+    """Start and end the session with an empty context cache.
+
+    ``CampaignContext._cache`` is process-global and never invalidated
+    on its own, so contexts built by an earlier in-process run (or left
+    behind for a later one) could leak between parametrized arches.
+    """
+    CampaignContext.clear_cache()
+    yield
+    CampaignContext.clear_cache()
+
+
 @pytest.fixture(scope="session")
 def kernel_program_fixture():
     return kernel_program()

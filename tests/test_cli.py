@@ -25,6 +25,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--kind", "bogus"])
 
+    def test_workers_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["campaign", "--kind", "data", "--workers", "3"])
+        assert args.workers == 3
+        args = build_parser().parse_args(["study", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_workers_defaults_to_serial(self):
+        assert build_parser().parse_args(
+            ["campaign", "--kind", "data"]).workers == 1
+        assert build_parser().parse_args(["study"]).workers == 1
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "1.5", "many"])
+    def test_workers_rejects_non_positive(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--kind", "data", "--workers", bad])
+
 
 class TestCommands:
     def test_disasm(self, capsys):
@@ -50,6 +68,13 @@ class TestCommands:
         assert "Data" in out
         from repro.analysis.export import load_results
         assert len(load_results(out_path)) == 30
+
+    def test_campaign_workers_smoke(self, capsys):
+        assert main(["campaign", "--kind", "data", "-n", "16",
+                     "--arch", "x86", "--ops", "36",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Data" in out
 
     def test_subprocess_entry(self):
         proc = subprocess.run(

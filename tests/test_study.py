@@ -1,5 +1,7 @@
 """Public-API tests: StudyConfig and Study orchestration."""
 
+import dataclasses
+
 import pytest
 
 from repro.core import CampaignKind, Study, StudyConfig
@@ -28,6 +30,16 @@ class TestConfig:
             "ppc": {CampaignKind.STACK: 7}})
         assert config.campaign_count("ppc", CampaignKind.STACK) == 7
         assert config.campaign_count("x86", CampaignKind.STACK) != 7
+
+    def test_workers_defaults_to_serial(self):
+        assert StudyConfig().workers == 1
+
+    def test_workers_round_trips(self):
+        config = StudyConfig(seed=3, workers=4, overrides={
+            "ppc": {CampaignKind.STACK: 7}})
+        clone = StudyConfig(**dataclasses.asdict(config))
+        assert clone == config
+        assert clone.workers == 4
 
     def test_experiment_setup_matches_paper_table1(self):
         assert EXPERIMENT_SETUP["x86"]["cpu_clock_ghz"] == 1.5
@@ -64,3 +76,13 @@ class TestStudySmall:
         latency = tiny_study.render_latency_figure()
         assert "Figure 16(A)" in latency
         assert "PPC" in latency and "Pentium" in latency
+
+    def test_config_workers_wired_through(self, tiny_study):
+        """A workers=2 study reproduces the serial study's results."""
+        config = dataclasses.replace(tiny_study.config, workers=2)
+        parallel_study = Study(config)
+        parallel_study.run_campaign("x86", CampaignKind.DATA)
+        serial = tiny_study.results_for("x86", CampaignKind.DATA)
+        parallel = parallel_study.results_for("x86", CampaignKind.DATA)
+        assert [(r.target, r.outcome, r.cause) for r in parallel] == \
+            [(r.target, r.outcome, r.cause) for r in serial]
