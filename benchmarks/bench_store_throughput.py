@@ -1,0 +1,107 @@
+"""Result-store throughput: journal append, replay, and store-backed
+campaigns at 1/2/4 workers.
+
+The journal is the write-ahead hot path — every injection result goes
+through one append — so its rate bounds how fast a store-backed
+campaign can possibly run; replay rate bounds resume startup.  The
+campaign rows measure the end-to-end overhead of running *through*
+the store (journaling from the serial loop and from the parallel
+shard merge) against the engine's plain throughput.
+
+Scale with ``REPRO_BENCH_SCALE`` like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.injection.campaign import (
+    Campaign, CampaignConfig, CampaignContext,
+)
+from repro.injection.outcomes import CampaignKind, InjectionResult, Outcome
+from repro.injection.targets import DataTarget
+from repro.store import CampaignStore
+from repro.store.journal import Journal, replay
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RECORDS = max(1_000, int(5_000 * _SCALE))
+COUNT = max(24, int(48 * _SCALE))
+
+
+def _synthetic(index: int) -> InjectionResult:
+    return InjectionResult(
+        arch="x86", kind=CampaignKind.DATA,
+        target=DataTarget(addr=0xC0300000 + index, bit=index % 8,
+                          at_instret=1_000 + index, initialized=True),
+        outcome=Outcome.NOT_MANIFESTED, activation_cycles=100 + index,
+        detail=f"synthetic {index}")
+
+
+def test_bench_journal_append(benchmark, tmp_path):
+    results = [_synthetic(index) for index in range(RECORDS)]
+    state = {}
+
+    def append_all():
+        path = tmp_path / f"journal-{len(os.listdir(tmp_path))}.jsonl"
+        start = time.perf_counter()
+        with Journal(path) as journal:
+            for index, result in enumerate(results):
+                journal.append(index, result)
+        state["elapsed"] = time.perf_counter() - start
+
+    benchmark.pedantic(append_all, rounds=3, iterations=1)
+    rate = RECORDS / state["elapsed"]
+    print(f"\njournal append: {RECORDS} records in "
+          f"{state['elapsed']:.3f}s = {rate:,.0f} rec/s")
+
+
+def test_bench_journal_replay(benchmark, tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with Journal(path) as journal:
+        for index in range(RECORDS):
+            journal.append(index, _synthetic(index))
+    state = {}
+
+    def replay_all():
+        start = time.perf_counter()
+        state["report"] = replay(path, truncate=False)
+        state["elapsed"] = time.perf_counter() - start
+
+    benchmark.pedantic(replay_all, rounds=3, iterations=1)
+    assert len(state["report"].records) == RECORDS
+    rate = RECORDS / state["elapsed"]
+    print(f"\njournal replay: {RECORDS} records in "
+          f"{state['elapsed']:.3f}s = {rate:,.0f} rec/s")
+
+
+@pytest.fixture(scope="module")
+def store_bench_context() -> CampaignContext:
+    return CampaignContext.get("x86", seed=11, ops=40)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_store_campaign(benchmark, workers, tmp_path,
+                              store_bench_context):
+    config = CampaignConfig(arch="x86", kind=CampaignKind.REGISTER,
+                            count=COUNT, seed=11, ops=40)
+    state = {"round": 0}
+
+    def run_once():
+        store = CampaignStore(tmp_path / f"store-{state['round']}")
+        state["round"] += 1
+        start = time.perf_counter()
+        state["result"] = Campaign(config, store_bench_context).run(
+            workers=workers, store=store)
+        state["elapsed"] = time.perf_counter() - start
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+    result = state["result"]
+    assert result.injected == COUNT
+    assert not result.failures
+    throughput = COUNT / state["elapsed"]
+    print(f"\nworkers={workers}: {COUNT} journaled injections in "
+          f"{state['elapsed']:.2f}s = {throughput:.1f} inj/s "
+          f"({os.cpu_count()} cores)")

@@ -13,6 +13,12 @@ Commands
     Disassemble a kernel function on either architecture.
 ``report``
     Regenerate the EXPERIMENTS.md-style paper-vs-measured report.
+``store``
+    Inspect a durable result store: ``ls``, ``verify``, ``export``.
+
+``campaign`` and ``study`` take ``--store DIR`` to journal results
+durably as they complete, ``--resume`` to continue (or top up) a
+stored campaign, and ``--progress`` for periodic injected/total lines.
 """
 
 from __future__ import annotations
@@ -52,25 +58,64 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
         "value gives bit-identical results)")
 
 
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", metavar="DIR",
+        help="durable result store: journal every result as it "
+        "completes (crash-safe, resumable)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue or top up a stored campaign (requires --store)")
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print periodic injected/total progress lines")
+
+
+def _progress_printer(label: str = ""):
+    """A ``(done, total)`` callback printing ~20 periodic lines."""
+    state = {"last": 0}
+
+    def callback(done: int, total: int) -> None:
+        step = max(1, total // 20)
+        if done >= total or done - state["last"] >= step:
+            state["last"] = done
+            print(f"{label}{done}/{total} injected", file=sys.stderr)
+
+    return callback
+
+
+def _check_store_args(args: argparse.Namespace) -> None:
+    if args.resume and not args.store:
+        raise SystemExit("--resume requires --store DIR")
+
+
 def cmd_study(args: argparse.Namespace) -> int:
+    _check_store_args(args)
     config = StudyConfig(seed=args.seed, scale=args.scale,
-                         ops=args.ops, workers=args.workers)
+                         ops=args.ops, workers=args.workers,
+                         store=args.store, resume=args.resume)
     study = Study(config)
     for arch in ("x86", "ppc"):
         for kind in CampaignKind:
             count = config.campaign_count(arch, kind)
             print(f"running {arch}/{kind.value} ({count} injections)...",
                   file=sys.stderr)
-            study.run_campaign(arch, kind)
+            progress = _progress_printer(f"  {arch}/{kind.value}: ") \
+                if args.progress else None
+            study.run_campaign(arch, kind, progress=progress)
     print(study.render_all())
     return 0
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    _check_store_args(args)
     kind = CampaignKind(args.kind)
     outcome = run_campaign(args.arch, kind, count=args.count,
                            seed=args.seed, ops=args.ops,
-                           workers=args.workers)
+                           workers=args.workers,
+                           store=args.store, resume=args.resume,
+                           progress=_progress_printer()
+                           if args.progress else None)
     row = build_row(kind, outcome.results)
     print(render_table([row],
                        "Pentium 4" if args.arch == "x86" else "PPC G4"))
@@ -144,6 +189,48 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store_ls(args: argparse.Namespace) -> int:
+    from repro.store import CampaignStore
+    store = CampaignStore(args.dir)
+    ids = store.campaign_ids()
+    if not ids:
+        print(f"no campaigns in {args.dir}")
+        return 0
+    print(f"{'campaign':<34} {'arch':<5} {'kind':<9} {'count':>7} "
+          f"{'done':>7}  code-version")
+    for campaign_id, manifest in zip(ids, store.campaigns()):
+        done = len(store.results(campaign_id))
+        print(f"{campaign_id:<34} {manifest.arch:<5} "
+              f"{manifest.kind:<9} {manifest.count:>7} {done:>7}  "
+              f"{manifest.code_version}")
+    return 0
+
+
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.store import CampaignStore
+    store = CampaignStore(args.dir)
+    ids = [args.campaign] if args.campaign else store.campaign_ids()
+    status = 0
+    for campaign_id in ids:
+        report = store.verify(campaign_id)
+        if report.ok:
+            print(f"{campaign_id}: ok ({report.records} records)")
+        else:
+            status = 1
+            print(f"{campaign_id}: {len(report.problems)} problem(s)")
+            for problem in report.problems:
+                print(f"  - {problem}")
+    return status
+
+
+def cmd_store_export(args: argparse.Namespace) -> int:
+    from repro.store import CampaignStore
+    store = CampaignStore(args.dir)
+    count = store.export(args.campaign, args.output)
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -156,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--seed", type=int, default=0)
     study.add_argument("--ops", type=int, default=40)
     _add_workers(study)
+    _add_store(study)
     study.set_defaults(func=cmd_study)
 
     campaign = sub.add_parser("campaign", help="run one campaign")
@@ -166,7 +254,27 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--json", metavar="PATH",
                           help="also dump results as JSON lines")
     _add_workers(campaign)
+    _add_store(campaign)
     campaign.set_defaults(func=cmd_campaign)
+
+    store = sub.add_parser("store",
+                           help="inspect a durable result store")
+    store_sub = store.add_subparsers(dest="action", required=True)
+    store_ls = store_sub.add_parser("ls", help="list campaigns")
+    store_ls.add_argument("dir")
+    store_ls.set_defaults(func=cmd_store_ls)
+    store_verify = store_sub.add_parser(
+        "verify", help="validate manifests, checksums, coverage")
+    store_verify.add_argument("dir")
+    store_verify.add_argument("--campaign", metavar="ID",
+                              help="verify one campaign only")
+    store_verify.set_defaults(func=cmd_store_verify)
+    store_export = store_sub.add_parser(
+        "export", help="dump one campaign as plain result JSONL")
+    store_export.add_argument("dir")
+    store_export.add_argument("campaign", metavar="ID")
+    store_export.add_argument("output", metavar="OUT.jsonl")
+    store_export.set_defaults(func=cmd_store_export)
 
     profile = sub.add_parser("profile", help="kernel usage profile")
     _add_common(profile)

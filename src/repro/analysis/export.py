@@ -4,64 +4,25 @@ Campaigns are cheap to re-run at small scale but expensive at paper
 scale; this module round-trips :class:`InjectionResult` lists through
 JSON so studies can be accumulated across processes and archived next
 to EXPERIMENTS.md.
+
+The (de)serialization itself lives in :mod:`repro.store.codec` — the
+store journal and this dump format share exactly one codec, so a
+record written by either reads back identically (targets as their
+original frozen dataclasses, tuple fields as tuples).  These are thin
+file-level wrappers kept for API compatibility; durable, resumable
+persistence is :mod:`repro.store`.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
-from repro.injection.outcomes import (
-    CampaignKind, CrashCauseG4, CrashCauseP4, InjectionResult, Outcome,
-)
+from repro.injection.outcomes import InjectionResult
+from repro.store.codec import result_from_dict, result_to_dict
 
-_CAUSES = {cause.value: cause
-           for cause in list(CrashCauseP4) + list(CrashCauseG4)}
-
-
-def result_to_dict(result: InjectionResult) -> dict:
-    target = result.target
-    if target is not None and dataclasses.is_dataclass(target):
-        target_payload: Optional[dict] = dict(
-            type=type(target).__name__,
-            **dataclasses.asdict(target))
-    else:
-        target_payload = None
-    return {
-        "arch": result.arch,
-        "kind": result.kind.value,
-        "outcome": result.outcome.value,
-        "cause": result.cause.value if result.cause else None,
-        "cause_arch": ("x86" if isinstance(result.cause, CrashCauseP4)
-                       else "ppc") if result.cause else None,
-        "activation_cycles": result.activation_cycles,
-        "crash_cycles": result.crash_cycles,
-        "detail": result.detail,
-        "function": result.function,
-        "subsystem": result.subsystem,
-        "screened": result.screened,
-        "target": target_payload,
-    }
-
-
-def result_from_dict(payload: dict) -> InjectionResult:
-    cause = None
-    if payload.get("cause"):
-        cause = _CAUSES[payload["cause"]]
-    return InjectionResult(
-        arch=payload["arch"],
-        kind=CampaignKind(payload["kind"]),
-        target=payload.get("target"),
-        outcome=Outcome(payload["outcome"]),
-        cause=cause,
-        activation_cycles=payload.get("activation_cycles"),
-        crash_cycles=payload.get("crash_cycles"),
-        detail=payload.get("detail", ""),
-        function=payload.get("function", ""),
-        subsystem=payload.get("subsystem", ""),
-        screened=payload.get("screened", False),
-    )
+__all__ = ["result_to_dict", "result_from_dict", "dump_results",
+           "load_results", "dump_study"]
 
 
 def dump_results(results: Iterable[InjectionResult], path: str) -> int:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.injection.outcomes import CampaignKind
 
@@ -56,7 +56,10 @@ class StudyConfig:
     exact campaign sizes when given.  ``workers`` is the number of
     campaign worker processes (1 = in-process serial loop; any value
     produces bit-identical results, see
-    :mod:`repro.injection.parallel`).
+    :mod:`repro.injection.parallel`).  ``store`` is a directory for
+    the durable result store (:mod:`repro.store`): every campaign
+    journals its results there as they complete, and with ``resume``
+    a killed study continues from the journals bit-identically.
     """
 
     seed: int = 0
@@ -65,6 +68,8 @@ class StudyConfig:
     dump_loss_probability: float = 0.08
     min_campaign: int = 40
     workers: int = 1
+    store: Optional[str] = None
+    resume: bool = False
     overrides: Dict[str, Dict[CampaignKind, int]] = field(
         default_factory=dict)
 

@@ -50,20 +50,39 @@ class Study:
 
     # -- running -----------------------------------------------------------
 
-    def run_campaign(self, arch: str, kind: CampaignKind,
-                     count: Optional[int] = None,
-                     workers: Optional[int] = None
-                     ) -> List[InjectionResult]:
+    def _campaign_config(self, arch: str, kind: CampaignKind,
+                         count: Optional[int]) -> CampaignConfig:
         config = self.config
-        campaign_config = CampaignConfig(
+        return CampaignConfig(
             arch=arch, kind=kind,
             count=count if count is not None
             else config.campaign_count(arch, kind),
             seed=config.seed, ops=config.ops,
             dump_loss_probability=config.dump_loss_probability)
+
+    def _store(self, store=None):
+        """Resolve *store* (path or CampaignStore) or the config's."""
+        target = store if store is not None else self.config.store
+        if target is None:
+            return None
+        from repro.store import CampaignStore
+        if isinstance(target, CampaignStore):
+            return target
+        return CampaignStore(target)
+
+    def run_campaign(self, arch: str, kind: CampaignKind,
+                     count: Optional[int] = None,
+                     workers: Optional[int] = None,
+                     store=None, resume: Optional[bool] = None,
+                     progress=None) -> List[InjectionResult]:
+        config = self.config
+        campaign_config = self._campaign_config(arch, kind, count)
         context = CampaignContext.get(arch, config.seed, config.ops)
         outcome = Campaign(campaign_config, context).run(
-            workers=workers if workers is not None else config.workers)
+            workers=workers if workers is not None else config.workers,
+            store=self._store(store),
+            resume=config.resume if resume is None else resume,
+            progress=progress)
         self.results.setdefault(arch, {})[kind] = outcome.results
         return outcome.results
 
@@ -72,6 +91,35 @@ class Study:
         for arch in arches:
             for kind in kinds:
                 self.run_campaign(arch, kind)
+        return self
+
+    # -- loading from a store ----------------------------------------------
+
+    def load_campaign(self, arch: str, kind: CampaignKind,
+                      count: Optional[int] = None,
+                      store=None) -> List[InjectionResult]:
+        """Stream a stored campaign into this study — no injection.
+
+        The campaign must be complete for the effective count; every
+        table/figure renderer then works off the journaled results
+        exactly as it would off a fresh run.
+        """
+        resolved = self._store(store)
+        if resolved is None:
+            raise ValueError("no store: pass store= or set "
+                             "StudyConfig.store")
+        campaign_config = self._campaign_config(arch, kind, count)
+        outcome = resolved.load(campaign_config)
+        self.results.setdefault(arch, {})[kind] = outcome.results
+        return outcome.results
+
+    def load(self, arches: Iterable[str] = ARCHES,
+             kinds: Iterable[CampaignKind] = KINDS,
+             store=None) -> "Study":
+        """Load the full study matrix from a store (see above)."""
+        for arch in arches:
+            for kind in kinds:
+                self.load_campaign(arch, kind, store=store)
         return self
 
     # -- accessors ----------------------------------------------------------

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.injection.collector import CrashDataCollector
 from repro.injection.injector import InjectionRun, RunSpec
 from repro.injection.outcomes import (
     CampaignKind, InjectionResult, Outcome,
@@ -83,6 +84,11 @@ class CampaignContext:
         base_driver = UnixBenchDriver(self.base_machine, seed=seed)
         base_driver.setup()
         self.base_programs = base_driver.programs
+        #: campaign-level crash-record aggregate; every run folds its
+        #: per-experiment collector in here, and ``Campaign.run``
+        #: clears it so records never leak between campaigns sharing
+        #: a cached context (e.g. consecutive ``Study.run`` campaigns)
+        self.collector = CrashDataCollector()
         self.probe: CleanRunProbe = probe_clean_run(arch, seed=seed,
                                                     ops=ops)
         self.profile: FunctionProfile = profile_kernel(arch, seed=seed,
@@ -189,9 +195,27 @@ class Campaign:
             ops=config.ops,
             seed=config.seed + index * 7919,
             dump_loss_probability=config.dump_loss_probability)
-        return InjectionRun(spec).execute()
+        run = InjectionRun(spec)
+        result = run.execute()
+        self.context.collector.absorb(run.collector)
+        return result
 
-    def run(self, progress=None, workers: int = 1) -> CampaignResult:
+    def run(self, progress=None, workers: int = 1, store=None,
+            resume: bool = False) -> CampaignResult:
+        """Run the campaign.
+
+        With *store* (a :class:`repro.store.CampaignStore` or a
+        directory path) every result is journaled as it completes and
+        already-journaled global indices are skipped — a killed run
+        resumes bit-identically, and a raised ``count`` tops the
+        stored campaign up.  *resume* must be set to continue a
+        campaign that already has journaled results.
+        """
+        self.context.collector.clear()   # per-campaign reset
+        if store is not None:
+            from repro.store.resume import run_with_store
+            return run_with_store(self, store, resume=resume,
+                                  progress=progress, workers=workers)
         if workers > 1:
             from repro.injection.parallel import run_parallel
             return run_parallel(self, workers, progress=progress)
@@ -206,8 +230,10 @@ class Campaign:
 
 def run_campaign(arch: str, kind: CampaignKind, count: int,
                  seed: int = 0, ops: int = 48,
-                 workers: int = 1) -> CampaignResult:
+                 workers: int = 1, store=None, resume: bool = False,
+                 progress=None) -> CampaignResult:
     """One-call convenience wrapper."""
     config = CampaignConfig(arch=arch, kind=kind, count=count, seed=seed,
                             ops=ops)
-    return Campaign(config).run(workers=workers)
+    return Campaign(config).run(workers=workers, store=store,
+                                resume=resume, progress=progress)

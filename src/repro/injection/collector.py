@@ -65,6 +65,18 @@ class CrashDataCollector:
     def last(self) -> Optional[CrashRecord]:
         return self.records[-1] if self.records else None
 
+    def absorb(self, other: "CrashDataCollector") -> None:
+        """Fold another collector's decoded records into this one.
+
+        Campaign-level aggregation: per-run collectors dedup by packet
+        sequence number, but sequence numbers restart with every
+        forked machine, so aggregation copies the already-deduped
+        records instead of replaying packets (which would wrongly
+        collapse records from different experiments).
+        """
+        self.records.extend(other.records)
+        self.malformed += other.malformed
+
     def clear(self) -> None:
         self.records.clear()
         self._seen.clear()

@@ -23,6 +23,13 @@ Graceful degradation: a shard whose worker raises (or whose process
 dies, breaking the pool) is retried **once, serially, in the parent**;
 the failure is recorded as a :class:`ShardFailure` on
 ``CampaignResult.failures`` rather than silently dropped.
+
+:func:`run_items` is the core engine: it takes an explicit
+``(global_index, target)`` list — not necessarily contiguous — so the
+result store (:mod:`repro.store.resume`) can hand it only the pending
+slice of a resumed campaign, and an optional *sink* called in the
+parent before each progress tick, which is where the write-ahead
+journal attaches.
 """
 
 from __future__ import annotations
@@ -112,38 +119,52 @@ def _mp_context():
         "fork" if "fork" in methods else None)
 
 
-def run_parallel(campaign: Campaign, workers: int, progress=None,
-                 fail_shards: Optional[Sequence[int]] = None
-                 ) -> CampaignResult:
-    """Run *campaign* across *workers* processes.
+def run_items(campaign: Campaign, items: Sequence[Tuple[int, object]],
+              workers: int, progress=None,
+              fail_shards: Optional[Sequence[int]] = None,
+              sink=None, done_base: int = 0,
+              total: Optional[int] = None
+              ) -> Tuple[List[Tuple[int, InjectionResult]],
+                         List[ShardFailure]]:
+    """Run ``(global_index, target)`` *items* across *workers*.
 
-    Bit-identical to ``campaign.run()``; see the module docstring for
-    the contract.  *progress* is the same ``(done, total)`` callback
-    the serial loop takes, called once per completed shard.
-    *fail_shards* injects worker-side failures for the degradation
-    tests.
+    The core of the parallel engine, factored so the result store can
+    hand it only the *pending* slice of a resumed campaign: *items*
+    need not be contiguous — each carries its global index, and the
+    per-experiment seed derivation is untouched.
+
+    *sink*, when given, is called as ``sink(index, result)`` **in the
+    parent, in shard-completion order, before the progress callback**
+    — the write-ahead hook the journal attaches to.  *progress* is
+    reported as ``done_base`` plus completed items, out of *total*
+    (default ``done_base + len(items)``).
+
+    Returns ``(merged, failures)`` with *merged* sorted by global
+    index and verified complete against *items*.
     """
-    config = campaign.config
-    targets = campaign.generate_targets()
-    total = len(targets)
-    out = CampaignResult(config=config)
-    if total == 0:
-        return out
+    if total is None:
+        total = done_base + len(items)
+    merged: List[Tuple[int, InjectionResult]] = []
+    failures: List[ShardFailure] = []
+    if not items:
+        return merged, failures
 
+    config = campaign.config
     fail_set = set(fail_shards or ())
     payloads = []
     for shard_index, (start, stop) in enumerate(
-            shard_targets(total, workers)):
-        items = [(index, targets[index]) for index in range(start, stop)]
-        payloads.append((shard_index, config, items,
+            shard_targets(len(items), workers)):
+        payloads.append((shard_index, config, list(items[start:stop]),
                          shard_index in fail_set))
     workers = min(workers, len(payloads))
 
-    merged: List[Tuple[int, InjectionResult]] = []
-    done = 0
+    done = done_base
 
     def shard_finished(shard_results) -> None:
         nonlocal done
+        if sink is not None:
+            for index, result in shard_results:
+                sink(index, result)
         merged.extend(shard_results)
         done += len(shard_results)
         if progress is not None:
@@ -165,16 +186,38 @@ def run_parallel(campaign: Campaign, workers: int, progress=None,
             if error is not None:
                 # degrade gracefully: retry the shard once, serially,
                 # in the parent (which holds an equivalent context)
-                items = payload[2]
+                shard_items = payload[2]
                 results = [(index, campaign.run_target(index, target))
-                           for index, target in items]
-                out.failures.append(ShardFailure(
+                           for index, target in shard_items]
+                failures.append(ShardFailure(
                     shard=shard_index, error=error, recovered=True))
             shard_finished(results)
 
     merged.sort(key=lambda pair: pair[0])
-    if [index for index, _result in merged] != list(range(total)):
+    expected = sorted(index for index, _target in items)
+    if [index for index, _result in merged] != expected:
         raise RuntimeError("parallel merge lost targets: got "
-                           f"{len(merged)} of {total}")
+                           f"{len(merged)} of {len(items)}")
+    return merged, failures
+
+
+def run_parallel(campaign: Campaign, workers: int, progress=None,
+                 fail_shards: Optional[Sequence[int]] = None
+                 ) -> CampaignResult:
+    """Run *campaign* across *workers* processes.
+
+    Bit-identical to ``campaign.run()``; see the module docstring for
+    the contract.  *progress* is the same ``(done, total)`` callback
+    the serial loop takes, called once per completed shard.
+    *fail_shards* injects worker-side failures for the degradation
+    tests.
+    """
+    campaign.context.collector.clear()
+    targets = campaign.generate_targets()
+    out = CampaignResult(config=campaign.config)
+    merged, failures = run_items(
+        campaign, list(enumerate(targets)), workers,
+        progress=progress, fail_shards=fail_shards)
+    out.failures.extend(failures)
     out.results.extend(result for _index, result in merged)
     return out

@@ -1,0 +1,31 @@
+"""Durable, crash-safe campaign result store.
+
+The paper's 115,000+ injections took ~70 machine-days; results that
+long in the making must survive crashes of the harness itself.  This
+package is the persistence layer under `Campaign.run(store=...)`:
+
+1. **manifest** (:mod:`repro.store.manifest`) — content-addressed
+   campaign identity, so one store holds many campaigns and config
+   drift is detected instead of mixing incompatible records;
+2. **journal** (:mod:`repro.store.journal`) — a write-ahead JSONL log
+   appending each result as it completes, with per-record checksums
+   and torn-tail truncation on replay;
+3. **store** (:mod:`repro.store.store`) — the directory layout plus
+   query/verify/export;
+4. **resume** (:mod:`repro.store.resume`) — checkpoint/resume and
+   incremental top-up, bit-identical to an uninterrupted run;
+5. **codec** (:mod:`repro.store.codec`) — the single
+   result-to-JSON-and-back path (``analysis.export`` wraps it).
+"""
+
+from repro.store.journal import Journal, JournalCorruption, replay
+from repro.store.manifest import CampaignManifest, ManifestError
+from repro.store.store import (
+    CampaignExistsError, CampaignStore, StoreError, StoreMismatchError,
+)
+
+__all__ = [
+    "CampaignStore", "CampaignManifest", "Journal",
+    "JournalCorruption", "replay", "ManifestError", "StoreError",
+    "StoreMismatchError", "CampaignExistsError",
+]

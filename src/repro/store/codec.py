@@ -1,0 +1,161 @@
+"""The one serialization path for campaign records.
+
+Every byte that leaves or enters the result store — and the
+``analysis.export`` JSON dump, which is a thin wrapper over this
+module — goes through these functions, so there is exactly one place
+where an :class:`InjectionResult` (or a :class:`CrashReport`) maps to
+JSON and back.
+
+The codec is *lossless by type*: a decoded record compares equal
+(``==``) to the record that was encoded.  That requires two things
+plain ``json`` round-trips get wrong:
+
+* **target dataclasses** come back as the original frozen dataclass
+  (``CodeTarget``/``StackTarget``/``DataTarget``/``RegisterTarget``),
+  not as a bare dict — the ``type`` tag in the payload selects the
+  class;
+* **tuple-typed fields** (e.g. ``CrashReport.frame_pointers``) come
+  back as tuples, not the lists JSON produces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+from repro.injection.outcomes import (
+    CampaignKind, CrashCauseG4, CrashCauseP4, InjectionResult, Outcome,
+)
+from repro.injection.targets import (
+    CodeTarget, DataTarget, RegisterTarget, StackTarget,
+)
+from repro.machine.events import CrashReport
+
+_CAUSES = {cause.value: cause
+           for cause in list(CrashCauseP4) + list(CrashCauseG4)}
+
+#: payload ``type`` tag -> target dataclass
+TARGET_TYPES = {cls.__name__: cls
+                for cls in (CodeTarget, StackTarget, DataTarget,
+                            RegisterTarget)}
+
+
+def _decode_dataclass(cls, payload: dict):
+    """Instantiate *cls* from *payload*, restoring tuple fields.
+
+    JSON has no tuple type, so any dataclass field annotated as a
+    tuple comes back from ``json.loads`` as a list; equality with the
+    original record then silently fails.  This is the single place
+    that converts them back.
+    """
+    kwargs = {}
+    for spec in dataclasses.fields(cls):
+        if spec.name not in payload:
+            continue
+        value = payload[spec.name]
+        annotation = str(spec.type)
+        if isinstance(value, list) and annotation.lower().startswith(
+                ("tuple", "typing.tuple")):
+            value = tuple(value)
+        kwargs[spec.name] = value
+    return cls(**kwargs)
+
+
+# -- InjectionResult ---------------------------------------------------------
+
+def result_to_dict(result: InjectionResult) -> dict:
+    target = result.target
+    if target is not None and dataclasses.is_dataclass(target):
+        target_payload: Optional[dict] = dict(
+            type=type(target).__name__,
+            **dataclasses.asdict(target))
+    else:
+        target_payload = None
+    return {
+        "arch": result.arch,
+        "kind": result.kind.value,
+        "outcome": result.outcome.value,
+        "cause": result.cause.value if result.cause else None,
+        "cause_arch": ("x86" if isinstance(result.cause, CrashCauseP4)
+                       else "ppc") if result.cause else None,
+        "activation_cycles": result.activation_cycles,
+        "crash_cycles": result.crash_cycles,
+        "detail": result.detail,
+        "function": result.function,
+        "subsystem": result.subsystem,
+        "screened": result.screened,
+        "target": target_payload,
+    }
+
+
+def _target_from_dict(payload: Optional[dict]):
+    if payload is None:
+        return None
+    cls = TARGET_TYPES.get(payload.get("type"))
+    if cls is None:
+        # unknown target type (e.g. a newer writer): keep the raw
+        # payload rather than losing data
+        return payload
+    fields = {key: value for key, value in payload.items()
+              if key != "type"}
+    return _decode_dataclass(cls, fields)
+
+
+def result_from_dict(payload: dict) -> InjectionResult:
+    cause = None
+    if payload.get("cause"):
+        cause = _CAUSES[payload["cause"]]
+    return InjectionResult(
+        arch=payload["arch"],
+        kind=CampaignKind(payload["kind"]),
+        target=_target_from_dict(payload.get("target")),
+        outcome=Outcome(payload["outcome"]),
+        cause=cause,
+        activation_cycles=payload.get("activation_cycles"),
+        crash_cycles=payload.get("crash_cycles"),
+        detail=payload.get("detail", ""),
+        function=payload.get("function", ""),
+        subsystem=payload.get("subsystem", ""),
+        screened=payload.get("screened", False),
+    )
+
+
+# -- CrashReport -------------------------------------------------------------
+
+def report_to_dict(report: CrashReport) -> dict:
+    vector = report.vector
+    reason = report.program_reason
+    payload = dataclasses.asdict(report)
+    payload["vector"] = int(vector) if vector is not None else None
+    payload["program_reason"] = getattr(reason, "name", None)
+    payload["frame_pointers"] = list(report.frame_pointers)
+    return payload
+
+
+def report_from_dict(payload: dict) -> CrashReport:
+    payload = dict(payload)
+    vector = payload.get("vector")
+    if vector is not None:
+        if payload["arch"] == "x86":
+            from repro.x86.exceptions import X86Vector
+            payload["vector"] = X86Vector(vector)
+        else:
+            from repro.ppc.exceptions import PPCVector
+            payload["vector"] = PPCVector(vector)
+    reason = payload.get("program_reason")
+    if reason is not None:
+        from repro.ppc.exceptions import ProgramReason
+        payload["program_reason"] = ProgramReason[reason]
+    return _decode_dataclass(CrashReport, payload)
+
+
+# -- canonical bytes ---------------------------------------------------------
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace).
+
+    Journal checksums are computed over these bytes, so the encoding
+    must never drift between writer and verifier.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

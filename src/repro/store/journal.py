@@ -1,0 +1,161 @@
+"""Write-ahead JSONL journal for campaign results.
+
+One line per completed injection, appended the moment the result
+exists — from the serial loop and from the parallel shard merge alike
+— so a crash of the harness loses at most the experiments in flight.
+
+Record layout (one JSON object per line)::
+
+    {"v": 1, "index": 17, "crc": "<sha256[:16]>", "result": {...}}
+
+``crc`` is a checksum over the canonical encoding of ``(index,
+result)``, so a flipped byte anywhere in a record is detected on
+replay — fitting, for a fault-injection harness.
+
+Replay distinguishes the two ways a journal goes bad:
+
+* a **torn tail** — the final record is incomplete or fails its
+  checksum and *nothing valid follows it*: the classic artifact of a
+  crash mid-append.  Replay truncates the file back to the last good
+  record and carries on; resume re-runs the lost experiment.
+* **interior corruption** — a record fails but valid records follow
+  it.  An append-only writer cannot produce that state, so it is real
+  data loss: replay raises :class:`JournalCorruption` rather than
+  silently dropping records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.injection.outcomes import InjectionResult
+from repro.store.codec import (
+    canonical_json, result_from_dict, result_to_dict,
+)
+
+RECORD_VERSION = 1
+
+
+class JournalCorruption(Exception):
+    """A journal record failed validation with valid records after it."""
+
+
+def _checksum(index: int, result_payload: dict) -> str:
+    body = canonical_json({"index": index, "result": result_payload})
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+def encode_record(index: int, result: InjectionResult) -> str:
+    payload = result_to_dict(result)
+    record = {"v": RECORD_VERSION, "index": index,
+              "crc": _checksum(index, payload), "result": payload}
+    return canonical_json(record)
+
+
+def decode_record(line: str) -> Tuple[int, InjectionResult]:
+    """Parse + validate one journal line; raises ``ValueError`` if bad."""
+    record = json.loads(line)
+    if not isinstance(record, dict) or record.get("v") != RECORD_VERSION:
+        raise ValueError("not a journal record")
+    index, payload = record["index"], record["result"]
+    if record.get("crc") != _checksum(index, payload):
+        raise ValueError(f"checksum mismatch on record index {index}")
+    return index, result_from_dict(payload)
+
+
+class Journal:
+    """Append-only result journal (the write side)."""
+
+    def __init__(self, path, sync: bool = False):
+        self.path = Path(path)
+        #: fsync every append — survives power loss, not just process
+        #: death, at a large throughput cost; off by default because
+        #: the threat model here is the harness crashing
+        self.sync = sync
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, index: int, result: InjectionResult) -> None:
+        self._handle.write(encode_record(index, result) + "\n")
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class ReplayReport:
+    """What :func:`replay` found (and possibly repaired)."""
+
+    records: List[Tuple[int, InjectionResult]]
+    truncated_bytes: int = 0           # torn tail dropped, if any
+    torn_detail: str = ""
+
+
+def replay(path, truncate: bool = True) -> ReplayReport:
+    """Read a journal back, validating every record.
+
+    A torn tail is truncated in place (when *truncate*, the default)
+    so the next append continues a clean file; interior corruption
+    raises :class:`JournalCorruption`.  A missing file is an empty
+    journal.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return ReplayReport(records=[])
+
+    records: List[Tuple[int, InjectionResult]] = []
+    seen: set = set()
+    offset = 0
+    bad_offset: Optional[int] = None
+    bad_detail = ""
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        end = len(data) if newline == -1 else newline + 1
+        line = data[offset:end]
+        try:
+            if newline == -1:
+                raise ValueError("no trailing newline (partial write)")
+            index, result = decode_record(
+                line.decode("utf-8", errors="strict"))
+        except (ValueError, KeyError, TypeError,
+                UnicodeDecodeError) as exc:
+            if bad_offset is None:
+                bad_offset, bad_detail = offset, str(exc)
+            offset = end
+            continue
+        if bad_offset is not None:
+            # a valid record *after* a bad one: not a torn tail
+            raise JournalCorruption(
+                f"{path}: corrupt record at byte {bad_offset} "
+                f"({bad_detail}) followed by valid records")
+        if index not in seen:          # duplicates: first write wins
+            seen.add(index)
+            records.append((index, result))
+        offset = end
+
+    truncated = 0
+    detail = ""
+    if bad_offset is not None:
+        truncated = len(data) - bad_offset
+        detail = bad_detail
+        if truncate:
+            with open(path, "r+b") as handle:
+                handle.truncate(bad_offset)
+    return ReplayReport(records=records, truncated_bytes=truncated,
+                        torn_detail=detail)

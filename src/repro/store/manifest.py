@@ -1,0 +1,125 @@
+"""Campaign manifests: content-addressed campaign identity.
+
+A store holds many campaigns side by side; each is identified by a
+hash of everything that determines its result stream — ``(arch, kind,
+ops, seed, dump-loss probability, profile coverage, code version)``.
+Two configs with the same identity produce bit-identical results, so
+their journals are interchangeable; any drift in those fields changes
+the identity and lands in a different campaign directory instead of
+silently mixing incompatible records.
+
+``count`` is deliberately **not** part of the identity: raising it
+tops up an existing campaign (the per-target seed keys on the global
+index, so targets ``0..N-1`` of a ``count=M > N`` campaign are exactly
+the ``count=N`` campaign's targets).  The manifest records the largest
+count ever requested, and shrinking it is refused as drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store.codec import canonical_json
+
+#: bump when the journal record layout or the identity derivation
+#: changes; part of ``code_version``, so old stores are never misread
+STORE_FORMAT = 1
+
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.jsonl"
+
+
+def code_version() -> str:
+    """The writer's code identity (package version + store format)."""
+    import repro
+    return f"{repro.__version__}+fmt{STORE_FORMAT}"
+
+
+class ManifestError(Exception):
+    """A manifest is missing, corrupt, or contradicts its directory."""
+
+
+@dataclass(frozen=True)
+class CampaignManifest:
+    """The durable description of one stored campaign."""
+
+    arch: str
+    kind: str                          # CampaignKind.value
+    count: int                         # largest count ever requested
+    ops: int
+    seed: int
+    dump_loss_probability: float
+    profile_coverage: float
+    code_version: str
+
+    @classmethod
+    def from_config(cls, config) -> "CampaignManifest":
+        """Build from an ``injection.campaign.CampaignConfig``."""
+        return cls(
+            arch=config.arch, kind=config.kind.value,
+            count=config.count, ops=config.ops, seed=config.seed,
+            dump_loss_probability=config.dump_loss_probability,
+            profile_coverage=config.profile_coverage,
+            code_version=code_version())
+
+    # -- identity ----------------------------------------------------------
+
+    def identity(self) -> dict:
+        """Everything that pins the result stream (count excluded)."""
+        payload = dataclasses.asdict(self)
+        payload.pop("count")
+        return payload
+
+    @property
+    def campaign_id(self) -> str:
+        digest = hashlib.sha256(
+            canonical_json(self.identity()).encode("utf-8"))
+        return f"{self.kind}-{self.arch}-{digest.hexdigest()[:12]}"
+
+    @property
+    def manifest_hash(self) -> str:
+        """Covers *all* fields (count included) — drift detection."""
+        digest = hashlib.sha256(
+            canonical_json(dataclasses.asdict(self)).encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["campaign_id"] = self.campaign_id
+        payload["manifest_hash"] = self.manifest_hash
+        return payload
+
+    def save(self, directory: Path) -> None:
+        path = Path(directory) / MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2,
+                                  sort_keys=True) + "\n",
+                       encoding="utf-8")
+        tmp.replace(path)              # atomic on POSIX
+
+    @classmethod
+    def load(cls, directory: Path) -> "CampaignManifest":
+        path = Path(directory) / MANIFEST_NAME
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ManifestError(f"no manifest at {path}")
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ManifestError(f"unreadable manifest at {path}: {exc}")
+        stored_hash = payload.pop("manifest_hash", None)
+        payload.pop("campaign_id", None)
+        try:
+            manifest = cls(**payload)
+        except TypeError as exc:
+            raise ManifestError(f"malformed manifest at {path}: {exc}")
+        if stored_hash != manifest.manifest_hash:
+            raise ManifestError(
+                f"manifest hash mismatch at {path}: stored "
+                f"{stored_hash!r}, recomputed {manifest.manifest_hash!r}")
+        return manifest

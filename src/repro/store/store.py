@@ -1,0 +1,219 @@
+"""The durable campaign store: directory layout, query, verify, export.
+
+Layout::
+
+    <root>/
+      <campaign_id>/
+        manifest.json     # identity + largest requested count
+        journal.jsonl     # write-ahead result journal
+
+``campaign_id`` derives from the manifest identity (see
+:mod:`repro.store.manifest`), so a store holds any number of
+campaigns — different kinds, arches, seeds, code versions — without
+collisions, and re-running the same config always lands in the same
+directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.injection.outcomes import InjectionResult
+from repro.store import journal as journal_mod
+from repro.store.journal import Journal, JournalCorruption
+from repro.store.manifest import (
+    JOURNAL_NAME, CampaignManifest, ManifestError,
+)
+
+
+class StoreError(Exception):
+    """Base class for store failures."""
+
+
+class StoreMismatchError(StoreError):
+    """The on-disk campaign contradicts the requested config."""
+
+
+class CampaignExistsError(StoreError):
+    """The campaign already has journaled results and resume is off."""
+
+
+@dataclass
+class OpenCampaign:
+    """One campaign opened for writing (resume bookkeeping included)."""
+
+    manifest: CampaignManifest
+    directory: Path
+    #: already-journaled results, keyed by global target index
+    done: Dict[int, InjectionResult]
+    journal: Journal
+    #: bytes dropped from a torn journal tail on open, if any
+    truncated_bytes: int = 0
+
+    def record(self, index: int, result: InjectionResult) -> None:
+        """Journal one completed experiment (the WAL append)."""
+        self.journal.append(index, result)
+        self.done[index] = result
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+@dataclass
+class VerifyReport:
+    campaign_id: str
+    records: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+class CampaignStore:
+    """A directory of durable campaigns."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- layout ------------------------------------------------------------
+
+    def campaign_dir(self, campaign_id: str) -> Path:
+        return self.root / campaign_id
+
+    def campaign_ids(self) -> List[str]:
+        return sorted(child.name for child in self.root.iterdir()
+                      if (child / "manifest.json").exists())
+
+    def campaigns(self) -> List[CampaignManifest]:
+        return [CampaignManifest.load(self.campaign_dir(campaign_id))
+                for campaign_id in self.campaign_ids()]
+
+    # -- opening for a run -------------------------------------------------
+
+    def open(self, config, resume: bool = False) -> OpenCampaign:
+        """Open (or create) the campaign *config* describes.
+
+        Without *resume*, any journaled results are an error — a store
+        never silently overwrites or extends finished work.  With
+        *resume*, journaled indices below ``config.count`` are reused;
+        a larger ``config.count`` tops the campaign up, a smaller one
+        is refused as drift.
+        """
+        manifest = CampaignManifest.from_config(config)
+        directory = self.campaign_dir(manifest.campaign_id)
+        directory.mkdir(parents=True, exist_ok=True)
+
+        existing: Optional[CampaignManifest] = None
+        if (directory / "manifest.json").exists():
+            existing = CampaignManifest.load(directory)
+            if existing.identity() != manifest.identity():
+                raise StoreMismatchError(
+                    f"campaign {manifest.campaign_id}: stored identity "
+                    f"{existing.identity()} != requested "
+                    f"{manifest.identity()}")
+            if config.count < existing.count:
+                raise StoreMismatchError(
+                    f"campaign {manifest.campaign_id}: requested "
+                    f"count {config.count} shrinks the stored campaign "
+                    f"({existing.count}); counts may only grow")
+
+        report = journal_mod.replay(directory / JOURNAL_NAME)
+        done = dict(report.records)
+        if done and not resume:
+            raise CampaignExistsError(
+                f"campaign {manifest.campaign_id} already has "
+                f"{len(done)} journaled results; pass resume=True "
+                f"(--resume) to continue or top it up")
+        stray = [index for index in done if index >= config.count]
+        if stray:
+            raise StoreMismatchError(
+                f"campaign {manifest.campaign_id}: journal holds "
+                f"indices {sorted(stray)[:5]}... beyond count "
+                f"{config.count}")
+
+        if existing is None or existing.count != manifest.count:
+            manifest.save(directory)
+        return OpenCampaign(
+            manifest=manifest, directory=directory, done=done,
+            journal=Journal(directory / JOURNAL_NAME),
+            truncated_bytes=report.truncated_bytes)
+
+    # -- reading back ------------------------------------------------------
+
+    def results(self, campaign_id: str) -> List[InjectionResult]:
+        """All journaled results, in global-index order."""
+        directory = self.campaign_dir(campaign_id)
+        if not directory.exists():
+            raise StoreError(f"no campaign {campaign_id} in {self.root}")
+        report = journal_mod.replay(directory / JOURNAL_NAME,
+                                    truncate=False)
+        return [result for _index, result
+                in sorted(report.records, key=lambda pair: pair[0])]
+
+    def load(self, config):
+        """Stream a stored campaign back as a ``CampaignResult``.
+
+        The campaign must be complete for the requested count — a
+        partial campaign (killed run not yet resumed) is an error, so
+        analysis never silently runs on a truncated result stream.
+        """
+        from repro.injection.campaign import CampaignResult
+        manifest = CampaignManifest.from_config(config)
+        directory = self.campaign_dir(manifest.campaign_id)
+        report = journal_mod.replay(directory / JOURNAL_NAME,
+                                    truncate=False)
+        done = dict(report.records)
+        missing = [index for index in range(config.count)
+                   if index not in done]
+        if missing:
+            raise StoreError(
+                f"campaign {manifest.campaign_id} is incomplete: "
+                f"{len(missing)} of {config.count} targets missing "
+                f"(first: {missing[:5]}); resume it first")
+        out = CampaignResult(config=config)
+        out.results.extend(done[index] for index in range(config.count))
+        return out
+
+    # -- maintenance -------------------------------------------------------
+
+    def verify(self, campaign_id: str) -> VerifyReport:
+        """Validate one campaign: manifest hash, checksums, coverage."""
+        report = VerifyReport(campaign_id=campaign_id)
+        directory = self.campaign_dir(campaign_id)
+        try:
+            manifest = CampaignManifest.load(directory)
+        except ManifestError as exc:
+            report.problems.append(str(exc))
+            return report
+        if manifest.campaign_id != campaign_id:
+            report.problems.append(
+                f"directory {campaign_id} holds manifest "
+                f"{manifest.campaign_id}")
+        try:
+            replayed = journal_mod.replay(directory / JOURNAL_NAME,
+                                          truncate=False)
+        except JournalCorruption as exc:
+            report.problems.append(str(exc))
+            return report
+        report.records = len(replayed.records)
+        if replayed.truncated_bytes:
+            report.problems.append(
+                f"torn journal tail: {replayed.truncated_bytes} bytes "
+                f"({replayed.torn_detail}); next resume repairs it")
+        indices = {index for index, _result in replayed.records}
+        missing = [index for index in range(manifest.count)
+                   if index not in indices]
+        if missing:
+            report.problems.append(
+                f"incomplete: {len(missing)} of {manifest.count} "
+                f"targets missing (first: {missing[:5]})")
+        return report
+
+    def export(self, campaign_id: str, path) -> int:
+        """Dump one campaign as plain result JSONL; returns the count."""
+        from repro.analysis.export import dump_results
+        return dump_results(self.results(campaign_id), str(path))

@@ -43,6 +43,33 @@ class TestParser:
             build_parser().parse_args(
                 ["campaign", "--kind", "data", "--workers", bad])
 
+    @pytest.mark.parametrize("command",
+                             [["campaign", "--kind", "data"], ["study"]])
+    def test_store_flags_parsed(self, command):
+        args = build_parser().parse_args(
+            command + ["--store", "/tmp/s", "--resume", "--progress"])
+        assert args.store == "/tmp/s"
+        assert args.resume and args.progress
+        defaults = build_parser().parse_args(command)
+        assert defaults.store is None
+        assert not defaults.resume and not defaults.progress
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--kind", "data", "--resume"])
+
+    def test_store_subcommand_parsed(self):
+        args = build_parser().parse_args(["store", "ls", "/tmp/s"])
+        assert args.dir == "/tmp/s"
+        args = build_parser().parse_args(
+            ["store", "verify", "/tmp/s", "--campaign", "abc"])
+        assert args.campaign == "abc"
+        args = build_parser().parse_args(
+            ["store", "export", "/tmp/s", "abc", "out.jsonl"])
+        assert args.output == "out.jsonl"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
 
 class TestCommands:
     def test_disasm(self, capsys):
@@ -68,6 +95,33 @@ class TestCommands:
         assert "Data" in out
         from repro.analysis.export import load_results
         assert len(load_results(out_path)) == 30
+
+    def test_campaign_store_roundtrip(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["campaign", "--kind", "data", "-n", "20",
+                     "--arch", "x86", "--ops", "36", "--progress",
+                     "--store", store_dir]) == 0
+        err = capsys.readouterr().err
+        assert "/20 injected" in err
+        # ls shows the campaign, verify is clean
+        assert main(["store", "ls", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "data" in out and "x86" in out
+        assert main(["store", "verify", store_dir]) == 0
+        assert "ok (20 records)" in capsys.readouterr().out
+        # resume of the complete campaign is a no-op replay
+        assert main(["campaign", "--kind", "data", "-n", "20",
+                     "--arch", "x86", "--ops", "36",
+                     "--store", store_dir, "--resume"]) == 0
+        capsys.readouterr()
+        # export round-trips through the shared codec
+        out_path = str(tmp_path / "out.jsonl")
+        from repro.store import CampaignStore
+        campaign_id = CampaignStore(store_dir).campaign_ids()[0]
+        assert main(["store", "export", store_dir, campaign_id,
+                     out_path]) == 0
+        from repro.analysis.export import load_results
+        assert len(load_results(out_path)) == 20
 
     def test_campaign_workers_smoke(self, capsys):
         assert main(["campaign", "--kind", "data", "-n", "16",

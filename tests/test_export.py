@@ -41,6 +41,18 @@ class TestRoundTrip:
             assert restored.latency == original.latency
             assert restored.screened == original.screened
 
+    def test_roundtrip_is_full_equality(self):
+        """The codec is lossless by type (regression: targets used to
+        come back as bare dicts, breaking result equality)."""
+        for original in sample_results():
+            assert result_from_dict(result_to_dict(original)) == original
+
+    def test_target_restored_as_dataclass(self):
+        original = sample_results()[0]
+        restored = result_from_dict(result_to_dict(original))
+        assert isinstance(restored.target, DataTarget)
+        assert restored.target == original.target
+
     def test_file_roundtrip(self, tmp_path):
         path = str(tmp_path / "results.jsonl")
         originals = sample_results()
