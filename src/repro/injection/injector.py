@@ -18,7 +18,6 @@ window, and classifies the outcome:
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -64,9 +63,16 @@ class InjectionRun:
             dump_loss_probability=spec.dump_loss_probability)
         self.machine = spec.base_machine.fork(
             config=config, collector=self.collector.receive)
+        # clone() once per distinct program object, keeping any
+        # pid->program aliasing the base dict had (as deepcopy's memo did)
+        clones: Dict[int, BenchProgram] = {}
+        programs: Dict[int, BenchProgram] = {}
+        for pid, program in spec.base_programs.items():
+            if id(program) not in clones:
+                clones[id(program)] = program.clone()
+            programs[pid] = clones[id(program)]
         self.driver = UnixBenchDriver(
-            self.machine, seed=spec.seed,
-            programs=copy.deepcopy(spec.base_programs))
+            self.machine, seed=spec.seed, programs=programs)
         self.activated = False
         self.activation_cycles: Optional[int] = None
 

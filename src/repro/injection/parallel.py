@@ -86,9 +86,22 @@ _WORKER_CONTEXT: Dict[str, Optional[CampaignContext]] = {"context": None}
 
 
 def _worker_init(arch: str, seed: int, ops: int) -> None:
-    """Build this worker's own context (runs once per worker process)."""
-    CampaignContext.clear_cache()
-    _WORKER_CONTEXT["context"] = CampaignContext.get(arch, seed, ops)
+    """Set up this worker's context (runs once per worker process).
+
+    With the ``fork`` start method the parent's context cache arrives
+    in the child through the OS-level fork, so the worker reuses the
+    already-built context for ``(arch, seed, ops)`` — no re-boot, no
+    re-probe; every injection then COW-forks from that one base
+    machine.  Context construction is deterministic, so the reused
+    context is bit-equivalent to a rebuilt one.  Under ``spawn`` (or
+    when the key is absent) the worker rebuilds from scratch exactly
+    as before.
+    """
+    context = CampaignContext._cache.get((arch, seed, ops))
+    if context is None:
+        CampaignContext.clear_cache()
+        context = CampaignContext.get(arch, seed, ops)
+    _WORKER_CONTEXT["context"] = context
 
 
 def _run_shard(payload):

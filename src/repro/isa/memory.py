@@ -36,18 +36,55 @@ class PhysicalMemory:
     All multi-byte accessors are endianness-explicit because the two
     simulated processors disagree: the P4-like core is little-endian and
     the G4-like core is big-endian.
+
+    :meth:`fork` produces a copy-on-write twin: both memories keep
+    references to the same page buffers, and every write path copies a
+    shared page lazily before mutating it, so forking is O(1) in pages
+    and an injection run only pays for the pages it actually dirties.
     """
 
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
+        #: page indices whose buffer may be referenced by a relative
+        #: (fork parent, fork child, or sibling) — copy before writing
+        self._shared: set = set()
+        #: pages privatized by copy-on-write (benchmark diagnostics)
+        self.cow_page_copies = 0
+
+    # -- forking ---------------------------------------------------------
+
+    def fork(self) -> "PhysicalMemory":
+        """Copy-on-write clone: share every page until someone writes.
+
+        Both sides mark all current pages shared; whichever side writes
+        a shared page first replaces its own reference with a private
+        copy, leaving the other side's view untouched.  A page copied
+        out may remain (harmlessly) marked shared on the other side and
+        on earlier forks, costing at most one redundant copy there.
+        """
+        child = PhysicalMemory()
+        child._pages = dict(self._pages)
+        self._shared.update(self._pages)
+        child._shared = set(self._pages)
+        return child
+
+    def shared_pages(self) -> int:
+        """Pages still marked shared (benchmark diagnostics)."""
+        return len(self._shared)
 
     # -- raw byte access ------------------------------------------------
 
     def _page(self, page_index: int) -> bytearray:
+        """The writable buffer for *page_index* (COW-privatizing)."""
         page = self._pages.get(page_index)
         if page is None:
             page = bytearray(PAGE_SIZE)
             self._pages[page_index] = page
+        elif page_index in self._shared:
+            page = bytearray(page)
+            self._pages[page_index] = page
+            self._shared.discard(page_index)
+            self.cow_page_copies += 1
         return page
 
     def read(self, addr: int, size: int) -> bytes:
@@ -210,6 +247,18 @@ class AddressSpace:
                 f"{self._regions[index - 1].name}")
         self._starts.insert(index, region.start)
         self._regions.insert(index, region)
+        self._last = None
+
+    def clone_layout(self, source: "AddressSpace") -> None:
+        """Adopt *source*'s region table wholesale (fork fast path).
+
+        Equivalent to replaying every ``map_region`` call in order —
+        regions are immutable and already validated non-overlapping —
+        without re-running the overlap checks.  The lists are copied,
+        so later map/unmap calls stay private to each space.
+        """
+        self._starts = list(source._starts)
+        self._regions = list(source._regions)
         self._last = None
 
     def unmap_region(self, name: str) -> None:

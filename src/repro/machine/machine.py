@@ -112,7 +112,7 @@ class Machine:
         self.arch = arch
         self.image = image if image is not None else build_kernel(arch)
         self.config = config if config is not None else MachineConfig()
-        self.rng = random.Random(self.config.seed)
+        self._rng: Optional[random.Random] = None
         self.cpu = X86CPU() if arch == "x86" else PPCCPU()
         self.clock_hz = self.cpu.CLOCK_HZ
         self.tick_cycles = self.clock_hz // HZ
@@ -138,6 +138,17 @@ class Machine:
         self._map_memory()
         if arch == "ppc":
             self.cpu.on_spr_write = self._on_spr_write
+
+    @property
+    def rng(self) -> random.Random:
+        """Machine-level RNG, seeded lazily from ``config.seed``.
+
+        Forking is the hot path and ``Random(seed)`` state is a pure
+        function of the seed, so construction is deferred to first use.
+        """
+        if self._rng is None:
+            self._rng = random.Random(self.config.seed)
+        return self._rng
 
     # ------------------------------------------------------------------
     # memory map + boot
@@ -198,13 +209,23 @@ class Machine:
     # forking (campaign speed: boot + workload setup once, clone many)
 
     def fork(self, config: Optional[MachineConfig] = None,
-             collector: Optional[Callable] = None) -> "Machine":
+             collector: Optional[Callable] = None,
+             eager: bool = False) -> "Machine":
         """Clone this booted machine into an independent twin.
 
-        Memory pages, CPU state, and task bookkeeping are copied; the
-        clone gets its own debug unit, watchdog, NIC channel, and RNG
-        (seeded from *config*), so campaigns can boot and set up the
-        workload once and fork a pristine machine per injection.
+        The clone shares memory pages copy-on-write with this machine
+        (each side privatizes a page on first write, so the fork costs
+        O(pages-written-after-fork), not O(pages-touched-at-boot)) and
+        starts with this machine's decoded-instruction cache as its
+        warm tier — safe because memory is bit-identical at the fork
+        instant and both CPUs invalidate decodes on text writes.  CPU
+        state and task bookkeeping are copied; the clone gets its own
+        debug unit, watchdog, NIC channel, and RNG (seeded from
+        *config*), so campaigns can boot and set up the workload once
+        and fork a pristine machine per injection.
+
+        *eager* restores the pre-COW deep page copy with a cold CPU —
+        the benchmark baseline, bit-identical in results but slower.
         """
         if not self.booted:
             raise RuntimeError("fork() requires a booted machine")
@@ -212,12 +233,22 @@ class Machine:
         clone.arch = self.arch
         clone.image = self.image
         clone.config = config if config is not None else self.config
-        clone.rng = random.Random(clone.config.seed)
-        clone.cpu = X86CPU() if self.arch == "x86" else PPCCPU()
+        clone._rng = None
+        if eager:
+            # faithful pre-COW baseline: RNGs were built at construction
+            clone._rng = random.Random(clone.config.seed)
+            clone.cpu = X86CPU() if self.arch == "x86" else PPCCPU()
+        else:
+            memory = self.cpu.mem.fork()
+            clone.cpu = X86CPU(memory=memory) if self.arch == "x86" \
+                else PPCCPU(memory=memory)
+            clone.cpu.inherit_icache(self.cpu)
         clone.clock_hz = self.clock_hz
         clone.tick_cycles = self.tick_cycles
         channel = LossyChannel(clone.config.dump_loss_probability,
                                seed=clone.config.seed ^ 0x5EED)
+        if eager:
+            channel._rng = random.Random(channel._seed)
         clone.nic = NIC(channel, receiver=collector)
         clone.watchdog = Watchdog(clone.config.watchdog_cycles)
         clone.tasks = {pid: Task(task.pid, task.name, task.kind,
@@ -232,12 +263,17 @@ class Machine:
         clone._pending_action = None
         clone._expected = dict(self._expected)
 
-        # memory: copy touched pages; regions: same layout
-        clone.cpu.mem._pages = {
-            index: bytearray(page)
-            for index, page in self.cpu.mem._pages.items()}
-        for region in self.cpu.aspace.regions:
-            clone.cpu.aspace.map_region(region)
+        # memory: eager baseline copies touched pages and replays the
+        # region mapping (COW shares pages above and adopts the
+        # already-validated region table wholesale)
+        if eager:
+            clone.cpu.mem._pages = {
+                index: bytearray(page)
+                for index, page in self.cpu.mem._pages.items()}
+            for region in self.cpu.aspace.regions:
+                clone.cpu.aspace.map_region(region)
+        else:
+            clone.cpu.aspace.clone_layout(self.cpu.aspace)
 
         # CPU architectural state
         src, dst = self.cpu, clone.cpu
@@ -311,16 +347,18 @@ class Machine:
     def flip_memory_bit(self, addr: int, bit: int) -> int:
         """Flip one bit of one byte in physical memory.
 
-        Returns the new byte value.  Flushes the decode cache when the
-        address lies in kernel text (the injector writes through the
-        same path a debug-register-driven poke would take).
+        Returns the new byte value.  When the address lies in kernel
+        text (the injector writes through the same path a
+        debug-register-driven poke would take), only the decodes the
+        written byte can corrupt are evicted — a single injected flip
+        no longer throws away the whole warm decode cache.
         """
         byte = self.cpu.mem.read_u8(addr)
         byte ^= 1 << (bit & 7)
         self.cpu.mem.write_u8(addr, byte)
         image = self.image
         if image.text_base <= addr < image.text_end:
-            self.cpu.flush_icache()
+            self.cpu.invalidate_icache(addr, 1)
         return byte
 
     # ------------------------------------------------------------------

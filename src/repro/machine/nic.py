@@ -34,13 +34,19 @@ class LossyChannel:
         if not 0.0 <= loss_probability <= 1.0:
             raise ValueError("loss probability must be within [0, 1]")
         self.loss_probability = loss_probability
-        self._rng = random.Random(seed)
+        self._seed = seed
+        # seeded lazily: a channel is built per forked machine but only
+        # consulted when a crash dump is actually sent, and
+        # ``Random(seed)`` state is a pure function of the seed
+        self._rng: Optional[random.Random] = None
         self.sent = 0
         self.lost = 0
 
     def deliver(self, packet: Packet,
                 receiver: Optional[Callable[[Packet], None]]) -> bool:
         self.sent += 1
+        if self._rng is None:
+            self._rng = random.Random(self._seed)
         if self._rng.random() < self.loss_probability:
             self.lost += 1
             return False

@@ -84,6 +84,19 @@ class PPCCPU:
         self._high_data_fault: Optional[str] = None
         self._high_fetch_fault: Optional[str] = None
         self._icache: Dict[int, PPCInstr] = {}
+        # Warm tier: decodes inherited from a fork parent (or demoted
+        # by a code write); valid bytes-wise, but the fetch checks have
+        # not run on this machine, so first use revalidates like a
+        # miss.  The dict may be shared by reference with a fork
+        # relative (``_warm_owned`` False) and is copied before the
+        # first mutation, so inheriting costs O(1), not O(entries).
+        self._icache_warm: Dict[int, PPCInstr] = {}
+        self._warm_owned = True
+        # bumped whenever either cache tier changes; guards the frozen
+        # merged snapshot handed to fork children
+        self._icache_version = 0
+        self._snapshot: Optional[Dict[int, PPCInstr]] = None
+        self._snapshot_version = -1
 
     # ------------------------------------------------------------------
     # condition register helpers
@@ -257,8 +270,64 @@ class PPCCPU:
 
     def flush_icache(self) -> None:
         self._icache.clear()
+        self._icache_warm = {}
+        self._warm_owned = True
+        self._icache_version += 1
 
-    def decode_at(self, addr: int) -> PPCInstr:
+    def _own_warm(self) -> Dict[int, PPCInstr]:
+        if not self._warm_owned:
+            self._icache_warm = dict(self._icache_warm)
+            self._warm_owned = True
+        return self._icache_warm
+
+    def invalidate_icache(self, addr: int, size: int = 1) -> None:
+        """Evict the word(s) a write to ``[addr, addr+size)`` touches.
+
+        Fixed 4-byte instructions make this exact: only the overwritten
+        words can decode differently.  Survivors demote to the warm
+        tier so their next fetch re-runs the permission/translation
+        checks, matching the full flush this replaces.
+        """
+        warm = self._own_warm()
+        first = addr & ~3
+        last = (addr + max(size, 1) - 1) & ~3
+        for word_addr in range(first, last + 4, 4):
+            self._icache.pop(word_addr & MASK32, None)
+            warm.pop(word_addr & MASK32, None)
+        if self._icache:
+            warm.update(self._icache)
+            self._icache.clear()
+        self._icache_version += 1
+
+    def icache_snapshot(self) -> Dict[int, PPCInstr]:
+        """A frozen warm-tier image for a fork child (never mutated).
+
+        Rebuilt only when a cache tier changed since the last fork, so
+        forking many clones from one static base pays the merge once.
+        """
+        if self._snapshot is None or \
+                self._snapshot_version != self._icache_version:
+            merged = dict(self._icache_warm)
+            merged.update(self._icache)
+            self._snapshot = merged
+            self._snapshot_version = self._icache_version
+        return self._snapshot
+
+    def inherit_icache(self, src: "PPCCPU") -> None:
+        """Adopt *src*'s decodes as the warm tier (fork instant only).
+
+        Safe for the same reason as on the x86 core: identical memory
+        at fork, write-path invalidation afterwards, and first-use
+        revalidation of the fetch checks on this machine.  The snapshot
+        dict is shared by reference and copied only if this core ever
+        needs to mutate it (a text write).
+        """
+        self._icache.clear()
+        self._icache_warm = src.icache_snapshot()
+        self._warm_owned = False
+        self._icache_version += 1
+
+    def _validate_fetch(self, addr: int) -> None:
         if self._high_fetch_fault is not None and \
                 addr >= self.TRANSLATION_BASE:
             if self._high_fetch_fault == "mc":
@@ -274,6 +343,9 @@ class PPCCPU:
                                "fetch protection violation") from None
             raise PPCFault(PPCVector.ISI, mf.address,
                            "fetch from unmapped address") from None
+
+    def decode_at(self, addr: int) -> PPCInstr:
+        self._validate_fetch(addr)
         word = self.mem.read_u32(addr, False)
         return decoder.decode(word, addr)
 
@@ -288,8 +360,15 @@ class PPCCPU:
             self.debug.check_fetch(pc, self.cycles)
         instr = self._icache.get(pc)
         if instr is None:
-            instr = self.decode_at(pc)
+            # No pop: the warm dict may be shared with fork relatives.
+            # ``_icache`` is consulted first, so the duplicate is inert.
+            instr = self._icache_warm.get(pc)
+            if instr is not None:
+                self._validate_fetch(pc)
+            else:
+                instr = self.decode_at(pc)
             self._icache[pc] = instr
+            self._icache_version += 1
         self.pc = (pc + 4) & MASK32
         instr.execute(self, instr)
         self.cycles += instr.cycles

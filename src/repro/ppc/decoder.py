@@ -486,14 +486,30 @@ def exec_nopish(cpu, i: PPCInstr) -> None:
 _EXT31: Dict[int, Callable] = {}
 _EXT19: Dict[int, Callable] = {}
 
+#: word -> decoded instruction.  PowerPC decoding depends on nothing
+#: but the 32-bit word (branch targets are resolved at execute time
+#: from ``cpu.current_pc``) and :class:`PPCInstr` is immutable after
+#: construction, so one decode serves every address, machine, and
+#: campaign in the process.  Sits *behind* the per-address icache:
+#: only decode-cache misses reach it.
+_WORD_MEMO: Dict[int, PPCInstr] = {}
+_WORD_MEMO_LIMIT = 1 << 16          # bound growth under random flips
+
 
 def decode(word: int, addr: int = 0) -> PPCInstr:
     """Decode one 32-bit instruction word.  Never raises."""
+    instr = _WORD_MEMO.get(word)
+    if instr is not None:
+        return instr
     opcd = (word >> 26) & 0x3F
     handler = _PRIMARY.get(opcd)
     if handler is None:
-        return PPCInstr("(illegal)", exec_illegal, word=word)
-    return handler(word, addr)
+        instr = PPCInstr("(illegal)", exec_illegal, word=word)
+    else:
+        instr = handler(word, addr)
+    if len(_WORD_MEMO) < _WORD_MEMO_LIMIT:
+        _WORD_MEMO[word] = instr
+    return instr
 
 
 def _mk_dform(mnemonic: str, execute, cycles: int = 1, unsigned: bool = False

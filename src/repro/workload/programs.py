@@ -39,6 +39,34 @@ class BenchProgram:
         self.op_index = 0
         self.fsv_events: List[FSVEvent] = []
 
+    # -- cloning -----------------------------------------------------------
+
+    def clone(self) -> "BenchProgram":
+        """An independent twin resuming from this program's exact state.
+
+        Campaigns set a program up once and hand every injection run
+        its own copy; ``copy.deepcopy`` spends most of its time
+        re-discovering that almost everything here is immutable
+        (ints, bytes, strings, the class template).  This walks the
+        instance state once: RNGs resume from the captured state,
+        sub-programs clone recursively, mutable lists (cursor state
+        like ``fsv_events``) are copied shallowly — their elements are
+        never mutated in place — and everything else is shared.
+        """
+        dup = self.__class__.__new__(self.__class__)
+        for key, value in self.__dict__.items():
+            if isinstance(value, random.Random):
+                rng = random.Random()
+                rng.setstate(value.getstate())
+                dup.__dict__[key] = rng
+            elif isinstance(value, BenchProgram):
+                dup.__dict__[key] = value.clone()
+            elif isinstance(value, list):
+                dup.__dict__[key] = list(value)
+            else:
+                dup.__dict__[key] = value
+        return dup
+
     # -- hooks ------------------------------------------------------------
 
     def setup(self, machine, task) -> None:

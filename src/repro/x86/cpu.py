@@ -81,6 +81,22 @@ class X86CPU:
         self.user_mode = False
 
         self._icache: Dict[int, Instr] = {}
+        # Warm tier: decoded instructions inherited from a fork parent
+        # (or demoted by a code write).  A warm entry's decode is valid
+        # — it was produced from the same bytes this machine sees — but
+        # the fetch permission check has not run on *this* machine yet,
+        # so the first fetch revalidates exactly like a decode miss
+        # before promoting the entry to ``_icache``.  The dict may be
+        # shared by reference with a fork relative (``_warm_owned``
+        # False): it is then copied before the first mutation, so
+        # inheriting a warm cache costs O(1), not O(entries).
+        self._icache_warm: Dict[int, Instr] = {}
+        self._warm_owned = True
+        # bumped whenever either cache tier changes; guards the frozen
+        # merged snapshot handed to fork children
+        self._icache_version = 0
+        self._snapshot: Optional[Dict[int, Instr]] = None
+        self._snapshot_version = -1
 
     # ------------------------------------------------------------------
     # register access helpers
@@ -330,12 +346,70 @@ class X86CPU:
     def flush_icache(self) -> None:
         """Invalidate the decode cache (called after any code write)."""
         self._icache.clear()
+        self._icache_warm = {}
+        self._warm_owned = True
+        self._icache_version += 1
 
-    def decode_at(self, addr: int) -> Instr:
-        raw = self.mem.read(addr, decoder.MAX_INSN_LEN)
-        instr = decoder.decode(raw, addr)
+    def _own_warm(self) -> Dict[int, Instr]:
+        if not self._warm_owned:
+            self._icache_warm = dict(self._icache_warm)
+            self._warm_owned = True
+        return self._icache_warm
+
+    def invalidate_icache(self, addr: int, size: int = 1) -> None:
+        """Evict decodes a write to ``[addr, addr+size)`` could corrupt.
+
+        Variable-length encoding means any cached instruction starting
+        up to ``MAX_INSN_LEN - 1`` bytes before *addr* may span the
+        written bytes; those entries are dropped from both tiers.  The
+        survivors are demoted to the warm tier so their next fetch
+        re-runs the permission check — exactly what the full flush this
+        replaces forced — while keeping their (still valid) decodes.
+        """
+        warm = self._own_warm()
+        for start in range(addr - decoder.MAX_INSN_LEN + 1, addr + size):
+            self._icache.pop(start & MASK32, None)
+            warm.pop(start & MASK32, None)
+        if self._icache:
+            warm.update(self._icache)
+            self._icache.clear()
+        self._icache_version += 1
+
+    def icache_snapshot(self) -> Dict[int, Instr]:
+        """A frozen warm-tier image for a fork child (never mutated).
+
+        Rebuilt only when a cache tier changed since the last fork, so
+        forking many clones from one static base — the campaign
+        pattern — pays the merge once.
+        """
+        if self._snapshot is None or \
+                self._snapshot_version != self._icache_version:
+            merged = dict(self._icache_warm)
+            merged.update(self._icache)
+            self._snapshot = merged
+            self._snapshot_version = self._icache_version
+        return self._snapshot
+
+    def inherit_icache(self, src: "X86CPU") -> None:
+        """Adopt *src*'s decoded instructions as this core's warm tier.
+
+        Only valid when both memories hold identical bytes (a fork
+        instant): decode is a pure function of the bytes, and both
+        caches are invalidated on text writes, so the inherited decodes
+        can never go stale.  Every entry still revalidates its fetch
+        check on first use here, so a clone behaves bit-for-bit like a
+        cold core that decoded everything itself.  The snapshot dict is
+        shared by reference and copied only if this core ever needs to
+        mutate it (a text write).
+        """
+        self._icache.clear()
+        self._icache_warm = src.icache_snapshot()
+        self._warm_owned = False
+        self._icache_version += 1
+
+    def _validate_fetch(self, addr: int, length: int) -> None:
         try:
-            self.aspace.check(addr, instr.length, AccessKind.FETCH)
+            self.aspace.check(addr, length, AccessKind.FETCH)
         except MemoryFault as mf:
             if mf.reason is MemoryFault.Reason.PROTECTION:
                 raise X86Fault(X86Vector.GENERAL_PROTECTION, mf.address,
@@ -344,6 +418,11 @@ class X86CPU:
             raise X86Fault(X86Vector.PAGE_FAULT, mf.address,
                            "instruction fetch page fault",
                            error_code=0x10) from None
+
+    def decode_at(self, addr: int) -> Instr:
+        raw = self.mem.read(addr, decoder.MAX_INSN_LEN)
+        instr = decoder.decode(raw, addr)
+        self._validate_fetch(addr, instr.length)
         return instr
 
     def step(self) -> None:
@@ -357,8 +436,15 @@ class X86CPU:
             self.debug.check_fetch(eip, self.cycles)
         instr = self._icache.get(eip)
         if instr is None:
-            instr = self.decode_at(eip)
+            # No pop: the warm dict may be shared with fork relatives.
+            # ``_icache`` is consulted first, so the duplicate is inert.
+            instr = self._icache_warm.get(eip)
+            if instr is not None:
+                self._validate_fetch(eip, instr.length)
+            else:
+                instr = self.decode_at(eip)
             self._icache[eip] = instr
+            self._icache_version += 1
         self.eip = (eip + instr.length) & MASK32
         instr.execute(self, instr)
         self.cycles += instr.cycles

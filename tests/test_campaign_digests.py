@@ -1,0 +1,56 @@
+"""Campaign outcomes pinned against pre-COW recorded digests.
+
+``tests/data/campaign_digests.json`` was recorded by running every
+campaign kind on both arches *before* copy-on-write forking and warm
+decode caches landed, hashing the full serialized result list (the PR 2
+store codec's canonical encoding, so every field the store round-trips
+is covered — outcome, cause, cycle counts, target details).
+
+These tests re-run the same campaigns — serially and through the
+parallel engine — and require the digests to match bit-for-bit.  Any
+change to fork semantics, decode caching, RNG seeding, or result
+encoding that shifts even one cycle count fails here.  CI runs a fast
+smoke subset (one kind per arch at ``workers=2``); the full matrix runs
+with the regular suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.outcomes import CampaignKind
+from repro.store.codec import canonical_json, result_to_dict
+
+DIGEST_PATH = Path(__file__).parent / "data" / "campaign_digests.json"
+DIGESTS = json.loads(DIGEST_PATH.read_text())
+
+_KINDS = {kind.value: kind for kind in CampaignKind}
+
+
+def _digest(result) -> str:
+    payload = canonical_json([result_to_dict(r) for r in result.results])
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@pytest.mark.parametrize(
+    "key", sorted(DIGESTS),
+    ids=[key.replace("/", "-") for key in sorted(DIGESTS)])
+@pytest.mark.parametrize("workers", [1, 2],
+                         ids=["serial", "workers2"])
+def test_matches_pre_cow_digest(key, workers, x86_context, ppc_context):
+    arch, kind_name = key.split("/")
+    recorded = DIGESTS[key]
+    config = CampaignConfig(arch=arch, kind=_KINDS[kind_name],
+                            count=recorded["count"],
+                            seed=recorded["seed"], ops=recorded["ops"])
+    context = x86_context if arch == "x86" else ppc_context
+    result = Campaign(config, context).run(workers=workers)
+    assert result.injected == recorded["count"]
+    assert not result.failures
+    assert _digest(result) == recorded["sha256"], (
+        f"{key} (workers={workers}) diverged from the pre-COW recording")

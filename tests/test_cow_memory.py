@@ -1,0 +1,207 @@
+"""Copy-on-write memory forking and warm decode-cache invalidation.
+
+Three guarantees from the COW fork redesign:
+
+* **Isolation** — a randomized property test: after ``fork()``, writes
+  on either side (every access width, base→clone and clone→base) are
+  never visible to the other side, and reads on both sides agree with
+  an eagerly copied reference byte-for-byte.
+* **Equivalence** — ``fork()`` (COW + warm cache) and
+  ``fork(eager=True)`` (the pre-COW deep copy with a cold CPU) produce
+  bit-identical machines: same architectural snapshot, same cycle
+  counts, same memory, after running real kernel work.
+* **Precision** — flipping one text byte evicts only the decodes that
+  byte can corrupt; every other cached decode survives (demoted to the
+  warm tier, where its next fetch re-runs the permission checks).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.isa.memory import PAGE_SIZE, PhysicalMemory
+from repro.machine.machine import Machine
+
+ARCHES = ["x86", "ppc"]
+
+
+def _machine(arch, booted_x86, booted_ppc) -> Machine:
+    return booted_x86 if arch == "x86" else booted_ppc
+
+
+# ---------------------------------------------------------------------------
+# randomized fork isolation
+
+
+class TestForkIsolation:
+    """Writes after fork never leak across the fork boundary."""
+
+    SPAN = 8 * PAGE_SIZE
+
+    @staticmethod
+    def _apply(mem: PhysicalMemory, mirror: bytearray, rng: random.Random,
+               addr: int) -> None:
+        """One random-width write, applied identically to the memory
+        under test and to an independent flat-bytearray model."""
+        width = rng.choice(("raw", "u8", "u16", "u32"))
+        if width == "raw":
+            data = bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(1, 64)))
+            mem.write(addr, data)
+            mirror[addr:addr + len(data)] = data
+        elif width == "u8":
+            value = rng.randrange(256)
+            mem.write_u8(addr, value)
+            mirror[addr] = value
+        elif width == "u16":
+            value = rng.randrange(1 << 16)
+            little = bool(rng.randrange(2))
+            mem.write_u16(addr, value, little_endian=little)
+            mirror[addr:addr + 2] = value.to_bytes(
+                2, "little" if little else "big")
+        else:
+            value = rng.randrange(1 << 32)
+            little = bool(rng.randrange(2))
+            mem.write_u32(addr, value, little_endian=little)
+            mirror[addr:addr + 4] = value.to_bytes(
+                4, "little" if little else "big")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_isolation(self, seed):
+        rng = random.Random(seed)
+        base = PhysicalMemory()
+        initial = bytes(rng.randrange(256) for _ in range(self.SPAN))
+        base.write(0, initial)
+        clone = base.fork()
+        # independent flat models of what each side must contain
+        mirrors = {id(base): bytearray(initial),
+                   id(clone): bytearray(initial)}
+
+        for _ in range(200):
+            # keep the largest write inside the span; straddling page
+            # boundaries is still exercised constantly
+            addr = rng.randrange(self.SPAN - 64)
+            target = base if rng.randrange(2) else clone
+            self._apply(target, mirrors[id(target)], rng, addr)
+
+        for mem in (base, clone):
+            assert mem.read(0, self.SPAN) == bytes(mirrors[id(mem)])
+
+    @pytest.mark.parametrize("direction", ["base_writes", "clone_writes"])
+    @pytest.mark.parametrize("width", ["raw", "u8", "u16", "u32"])
+    def test_single_write_invisible_across_fork(self, direction, width):
+        base = PhysicalMemory()
+        base.write(0x1000, bytes(range(256)))
+        clone = base.fork()
+        writer, reader = ((base, clone) if direction == "base_writes"
+                          else (clone, base))
+        before = reader.read(0x1000, 256)
+        addr = 0x1010
+        if width == "raw":
+            writer.write(addr, b"\xAA" * 8)
+        elif width == "u8":
+            writer.write_u8(addr, 0xAA)
+        elif width == "u16":
+            writer.write_u16(addr, 0xAAAA, little_endian=True)
+        else:
+            writer.write_u32(addr, 0xAABBCCDD, little_endian=False)
+        assert reader.read(0x1000, 256) == before
+        assert writer.read(addr, 1) == b"\xAA"
+        assert writer.cow_page_copies == 1
+
+    def test_page_boundary_straddle(self):
+        base = PhysicalMemory()
+        base.write(0, bytes(2 * PAGE_SIZE))
+        clone = base.fork()
+        clone.write(PAGE_SIZE - 2, b"\x11\x22\x33\x44")
+        assert base.read(PAGE_SIZE - 2, 4) == b"\x00\x00\x00\x00"
+        assert clone.read(PAGE_SIZE - 2, 4) == b"\x11\x22\x33\x44"
+        assert clone.cow_page_copies == 2   # both straddled pages
+
+    def test_sibling_forks_are_isolated(self):
+        base = PhysicalMemory()
+        base.write(0x2000, b"seed")
+        a = base.fork()
+        b = base.fork()
+        a.write(0x2000, b"aaaa")
+        b.write(0x2000, b"bbbb")
+        assert base.read(0x2000, 4) == b"seed"
+        assert a.read(0x2000, 4) == b"aaaa"
+        assert b.read(0x2000, 4) == b"bbbb"
+
+
+# ---------------------------------------------------------------------------
+# COW + warm cache vs the eager pre-COW baseline
+
+
+class TestCowEagerEquivalence:
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_identical_after_kernel_work(self, arch, booted_x86,
+                                         booted_ppc):
+        base = _machine(arch, booted_x86, booted_ppc)
+        cow, eager = base.fork(), base.fork(eager=True)
+        for machine in (cow, eager):
+            for nr in (1, 2, 3, 1, 4, 2):
+                machine.syscall(nr)
+            machine.deliver_timer()
+        assert cow.cpu.snapshot() == eager.cpu.snapshot()
+        assert cow.cpu.cycles == eager.cpu.cycles
+        # memory contents identical page-for-page
+        pages = set(cow.cpu.mem._pages) | set(eager.cpu.mem._pages)
+        for index in pages:
+            assert cow.cpu.mem.read(index * PAGE_SIZE, PAGE_SIZE) == \
+                eager.cpu.mem.read(index * PAGE_SIZE, PAGE_SIZE), \
+                f"page {index:#x} diverged"
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_fork_copies_no_pages_up_front(self, arch, booted_x86,
+                                           booted_ppc):
+        base = _machine(arch, booted_x86, booted_ppc)
+        clone = base.fork()
+        assert clone.cpu.mem.cow_page_copies == 0
+        assert clone.cpu.mem.shared_pages() == len(clone.cpu.mem._pages)
+
+
+# ---------------------------------------------------------------------------
+# per-address icache invalidation
+
+
+class TestIcacheInvalidation:
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_text_flip_evicts_only_affected_decodes(
+            self, arch, booted_x86, booted_ppc):
+        base = _machine(arch, booted_x86, booted_ppc)
+        clone = base.fork()
+        clone.syscall(1)                       # warm the validated tier
+        cpu = clone.cpu
+        cached = dict(cpu._icache)
+        assert cached, "syscall should have populated the icache"
+        victim = sorted(cached)[len(cached) // 2]
+        clone.flip_memory_bit(victim, 0)
+        # the victim's decode is gone from both tiers ...
+        assert victim not in cpu._icache
+        assert victim not in cpu._icache_warm
+        # ... survivors were demoted to warm, not discarded ...
+        from repro.x86 import decoder as x86_decoder
+        window = x86_decoder.MAX_INSN_LEN if arch == "x86" else 4
+        survivors = {a: i for a, i in cached.items()
+                     if not (victim - window < a <= victim)}
+        for addr, instr in survivors.items():
+            assert cpu._icache_warm.get(addr) is instr, \
+                f"decode at {addr:#x} should have survived the flip"
+        # ... and a subsequent fetch re-decodes the flipped word only
+        assert cpu._icache == {}
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_clone_inherits_parent_decodes_as_warm(
+            self, arch, booted_x86, booted_ppc):
+        base = _machine(arch, booted_x86, booted_ppc)
+        first = base.fork()
+        first.syscall(1)
+        # fork a sibling from the (still pristine) base: it inherits
+        # whatever the base decoded during boot, all in the warm tier
+        sibling = base.fork()
+        assert sibling.cpu._icache == {}
+        assert set(sibling.cpu._icache_warm) >= set(base.cpu._icache)
