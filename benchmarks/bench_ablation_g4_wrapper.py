@@ -12,7 +12,6 @@ from repro.injection.outcomes import CampaignKind, CrashCauseG4, Outcome
 
 
 def _reclassify_without_wrapper(results):
-    from repro.analysis.classify import _classify_g4
     out = {}
     for result in results:
         if result.outcome is not Outcome.CRASH_KNOWN:

@@ -15,6 +15,11 @@ Commands
     Regenerate the EXPERIMENTS.md-style paper-vs-measured report.
 ``store``
     Inspect a durable result store: ``ls``, ``verify``, ``export``.
+``static``
+    Run the static error-sensitivity analyzer (CFG + liveness +
+    encoding-corruption prediction) over one or both kernel images;
+    ``--validate N`` also runs an N-injection dynamic code campaign
+    and prints the predicted-vs-measured confusion matrix.
 
 ``campaign`` and ``study`` take ``--store DIR`` to journal results
 durably as they complete, ``--resume`` to continue (or top up) a
@@ -84,6 +89,14 @@ def _progress_printer(label: str = ""):
     return callback
 
 
+def _add_prune(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prune-dead", action="store_true",
+        help="redraw code targets landing on bits the static "
+        "analyzer proves inert (decode-identical flips, unreachable "
+        "code); code campaigns only")
+
+
 def _check_store_args(args: argparse.Namespace) -> None:
     if args.resume and not args.store:
         raise SystemExit("--resume requires --store DIR")
@@ -93,7 +106,8 @@ def cmd_study(args: argparse.Namespace) -> int:
     _check_store_args(args)
     config = StudyConfig(seed=args.seed, scale=args.scale,
                          ops=args.ops, workers=args.workers,
-                         store=args.store, resume=args.resume)
+                         store=args.store, resume=args.resume,
+                         prune="dead" if args.prune_dead else "none")
     study = Study(config)
     for arch in ("x86", "ppc"):
         for kind in CampaignKind:
@@ -110,12 +124,18 @@ def cmd_study(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     _check_store_args(args)
     kind = CampaignKind(args.kind)
+    if args.prune_dead and kind is not CampaignKind.CODE:
+        raise SystemExit("--prune-dead requires --kind code")
     outcome = run_campaign(args.arch, kind, count=args.count,
                            seed=args.seed, ops=args.ops,
                            workers=args.workers,
                            store=args.store, resume=args.resume,
                            progress=_progress_printer()
-                           if args.progress else None)
+                           if args.progress else None,
+                           prune="dead" if args.prune_dead else "none")
+    if args.prune_dead:
+        print(f"prune-dead: {outcome.pruned_draws} draw(s) rejected "
+              f"and redrawn", file=sys.stderr)
     row = build_row(kind, outcome.results)
     print(render_table([row],
                        "Pentium 4" if args.arch == "x86" else "PPC G4"))
@@ -183,6 +203,38 @@ def cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_static(args: argparse.Namespace) -> int:
+    from repro.static import analyze_kernel
+    from repro.static.report import compare_rates
+    arches = ("x86", "ppc") if args.arch == "both" else (args.arch,)
+    reports = []
+    for arch in arches:
+        print(f"analyzing {arch} kernel image...", file=sys.stderr)
+        report = analyze_kernel(arch)
+        reports.append(report)
+        print(report.render())
+        print(f"  histogram digest: {report.digest()}")
+        print()
+    if len(reports) > 1:
+        print(compare_rates(reports))
+    if args.validate:
+        from repro.analysis.validate_static import (
+            validate_code_campaign,
+        )
+        for report in reports:
+            print(f"\nrunning {args.validate}-injection dynamic code "
+                  f"campaign on {report.arch}...", file=sys.stderr)
+            outcome = run_campaign(
+                report.arch, CampaignKind.CODE, count=args.validate,
+                seed=args.seed, ops=args.ops, workers=args.workers,
+                progress=_progress_printer() if args.progress
+                else None)
+            validation = validate_code_campaign(outcome.results,
+                                                report)
+            print(validation.render())
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from examples.generate_experiments_report import main as report_main
     report_main()
@@ -244,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--ops", type=int, default=40)
     _add_workers(study)
     _add_store(study)
+    _add_prune(study)
     study.set_defaults(func=cmd_study)
 
     campaign = sub.add_parser("campaign", help="run one campaign")
@@ -255,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also dump results as JSON lines")
     _add_workers(campaign)
     _add_store(campaign)
+    _add_prune(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
     store = sub.add_parser("store",
@@ -288,6 +342,21 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report",
                             help="paper-vs-measured report (stdout)")
     report.set_defaults(func=cmd_report)
+
+    static = sub.add_parser(
+        "static", help="static error-sensitivity analysis")
+    static.add_argument("--arch", choices=["x86", "ppc", "both"],
+                        default="both")
+    static.add_argument("--seed", type=int, default=0)
+    static.add_argument("--ops", type=int, default=48)
+    static.add_argument(
+        "--validate", type=_positive_int, metavar="N",
+        help="also run an N-injection dynamic code campaign per arch "
+        "and print the predicted-vs-measured confusion matrix")
+    static.add_argument("--progress", action="store_true",
+                        help="print periodic injected/total lines")
+    _add_workers(static)
+    static.set_defaults(func=cmd_static)
     return parser
 
 

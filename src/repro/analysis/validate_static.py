@@ -1,0 +1,232 @@
+"""Validate static sensitivity predictions against dynamic campaigns.
+
+Two validation modes:
+
+* :func:`validate_code_campaign` joins a dynamic code-campaign result
+  with a :class:`StaticSensitivityReport` bit-by-bit (every code
+  target is an (instruction address, bit) pair, exactly the report's
+  key) and builds a predicted-vs-measured confusion matrix.  The
+  headline number is *manifestation accuracy*: among injections the
+  workload activated, how often the static predictor called the
+  manifest/mask outcome correctly.
+* :func:`validate_prune` is the safety check for ``--prune-dead``: it
+  *injects* every statically-prunable bit (decode-identical flips and
+  unreachable code) and verifies none of them manifests.  Any
+  disagreement here is a soundness bug, not a calibration miss.
+
+Both are pure functions of their inputs, so a campaign run serially
+and one run with workers (bit-identical by construction) validate to
+identical matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.injection.outcomes import InjectionResult
+from repro.static.report import StaticSensitivityReport
+
+#: row/column labels, static prediction x dynamic measurement
+LABELS = ("manifested", "not-manifested", "not-activated")
+
+
+def dynamic_label(result: InjectionResult) -> str:
+    """Collapse the dynamic outcome taxonomy onto the static one."""
+    if not result.outcome.activated:
+        return "not-activated"
+    return "manifested" if result.outcome.manifested \
+        else "not-manifested"
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts of (static prediction, dynamic outcome) pairs."""
+
+    counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def add(self, predicted: str, dynamic: str, n: int = 1) -> None:
+        if predicted not in LABELS or dynamic not in LABELS:
+            raise ValueError(f"unknown label {predicted!r}/{dynamic!r}")
+        key = (predicted, dynamic)
+        self.counts[key] = self.counts.get(key, 0) + n
+
+    def get(self, predicted: str, dynamic: str) -> int:
+        return self.counts.get((predicted, dynamic), 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def activated_total(self) -> int:
+        """Experiments the workload actually activated."""
+        return sum(n for (_, dyn), n in self.counts.items()
+                   if dyn != "not-activated")
+
+    @property
+    def manifestation_accuracy(self) -> float:
+        """Among dynamically-activated experiments: how often did the
+        predictor call manifest vs mask correctly?  A static
+        ``not-activated`` counts as predicting "no manifestation" —
+        if the workload then crashed, that is a (serious) miss."""
+        activated = self.activated_total
+        if not activated:
+            return 0.0
+        correct = 0
+        for (pred, dyn), n in self.counts.items():
+            if dyn == "not-activated":
+                continue
+            if (pred == "manifested") == (dyn == "manifested"):
+                correct += n
+        return correct / activated
+
+    @property
+    def activation_accuracy(self) -> float:
+        """How often static reachability agreed with dynamic
+        activation.  Static reachability is necessary, not
+        sufficient: reachable-but-cold paths dynamically screen as
+        not-activated, so this is informative, not a gate."""
+        if not self.total:
+            return 0.0
+        correct = sum(n for (pred, dyn), n in self.counts.items()
+                      if (pred == "not-activated")
+                      == (dyn == "not-activated"))
+        return correct / self.total
+
+    def render(self) -> str:
+        lines = ["predicted \\ dynamic" + "".join(
+            f"{label:>16}" for label in LABELS)]
+        for pred in LABELS:
+            row = f"{pred:<19}" + "".join(
+                f"{self.get(pred, dyn):>16}" for dyn in LABELS)
+            lines.append(row)
+        return "\n".join(lines)
+
+
+@dataclass
+class StaticValidation:
+    """Outcome of joining one dynamic code campaign with the static
+    report for the same architecture."""
+
+    arch: str
+    matrix: ConfusionMatrix
+    #: activated experiments the predictor got wrong, with the
+    #: static corruption class for post-mortem
+    mismatches: List[Tuple[InjectionResult, str, str]] \
+        = field(default_factory=list)
+
+    @property
+    def manifestation_accuracy(self) -> float:
+        return self.matrix.manifestation_accuracy
+
+    def render(self) -> str:
+        lines = [f"static-vs-dynamic validation: {self.arch}",
+                 self.matrix.render(),
+                 f"activated experiments: "
+                 f"{self.matrix.activated_total}/{self.matrix.total}",
+                 f"manifestation accuracy: "
+                 f"{100.0 * self.manifestation_accuracy:.1f}%",
+                 f"activation agreement:   "
+                 f"{100.0 * self.matrix.activation_accuracy:.1f}%"]
+        return "\n".join(lines)
+
+
+def validate_code_campaign(
+        results: Sequence[InjectionResult],
+        report: Optional[StaticSensitivityReport] = None
+        ) -> StaticValidation:
+    """Join dynamic code-campaign results with static predictions."""
+    if not results:
+        raise ValueError("no results to validate")
+    arch = results[0].arch
+    if report is None:
+        from repro.static.predictor import analyze_kernel
+        report = analyze_kernel(arch)
+    if report.arch != arch:
+        raise ValueError(f"report is {report.arch}, results are {arch}")
+
+    matrix = ConfusionMatrix()
+    mismatches: List[Tuple[InjectionResult, str, str]] = []
+    for result in results:
+        target = result.target
+        prediction = report.lookup(target.addr, target.bit)
+        pred, dyn = prediction.outcome.value, dynamic_label(result)
+        matrix.add(pred, dyn)
+        if dyn != "not-activated" and \
+                (pred == "manifested") != (dyn == "manifested"):
+            mismatches.append((result, pred,
+                               prediction.corruption.value))
+    return StaticValidation(arch=arch, matrix=matrix,
+                            mismatches=mismatches)
+
+
+@dataclass
+class PruneValidation:
+    """Outcome of dynamically injecting every prunable bit."""
+
+    arch: str
+    prunable_bits: int
+    injected: int
+    #: injections on prunable bits that manifested — must be empty
+    disagreements: List[InjectionResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def render(self) -> str:
+        status = "ok" if self.ok else \
+            f"{len(self.disagreements)} DISAGREEMENT(S)"
+        return (f"prune validation: {self.arch}: "
+                f"{self.injected}/{self.prunable_bits} prunable bits "
+                f"injected, {status}")
+
+
+def validate_prune(arch: str, seed: int = 0, ops: int = 48,
+                   limit: Optional[int] = None) -> PruneValidation:
+    """Inject every statically-prunable bit and check none manifests.
+
+    ``limit`` caps the number of injections (evenly strided over the
+    sorted prunable set) so tests can sample; the full sweep is the
+    CI-gate / release check.
+    """
+    from repro.injection.campaign import (
+        Campaign, CampaignConfig, CampaignContext,
+    )
+    from repro.injection.outcomes import CampaignKind
+    from repro.injection.targets import CodeTarget
+    from repro.kernel.build import build_kernel
+    from repro.static.cfg import build_cfg
+    from repro.static.predictor import analyze_image
+
+    image = build_kernel(arch)
+    cfg = build_cfg(arch, image)
+    report = analyze_image(arch, image, cfg=cfg)
+    dead = sorted(report.dead_bits)
+    chosen = dead
+    if limit is not None and limit < len(dead):
+        stride = len(dead) / limit
+        chosen = [dead[int(i * stride)] for i in range(limit)]
+
+    targets: List[CodeTarget] = []
+    for addr, bit in chosen:
+        name, block_start = cfg.insn_map[addr]
+        block = cfg.functions[name].blocks[block_start]
+        node = next(n for n in block.insns if n.addr == addr)
+        targets.append(CodeTarget(function=name, addr=addr,
+                                  insn_len=node.length, bit=bit))
+
+    context = CampaignContext.get(arch, seed, ops)
+    config = CampaignConfig(arch=arch, kind=CampaignKind.CODE,
+                            count=max(1, len(targets)), seed=seed,
+                            ops=ops)
+    campaign = Campaign(config, context)
+    disagreements: List[InjectionResult] = []
+    for index, target in enumerate(targets):
+        result = campaign.run_target(index, target)
+        if result.outcome.manifested:
+            disagreements.append(result)
+    return PruneValidation(arch=arch, prunable_bits=len(dead),
+                           injected=len(targets),
+                           disagreements=disagreements)

@@ -70,6 +70,9 @@ class StudyConfig:
     workers: int = 1
     store: Optional[str] = None
     resume: bool = False
+    #: "dead" redraws code targets the static analyzer proves inert
+    #: (applies to the code campaigns only; see repro.static)
+    prune: str = "none"
     overrides: Dict[str, Dict[CampaignKind, int]] = field(
         default_factory=dict)
 

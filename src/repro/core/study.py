@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.compare import (
-    FIGURE_OF_KIND, render_figure_comparison, render_table_comparison,
+    render_figure_comparison, render_table_comparison,
 )
 from repro.analysis.figures import render_distribution
 from repro.analysis.latency import BUCKET_LABELS, latency_percentages
@@ -58,7 +58,11 @@ class Study:
             count=count if count is not None
             else config.campaign_count(arch, kind),
             seed=config.seed, ops=config.ops,
-            dump_loss_probability=config.dump_loss_probability)
+            dump_loss_probability=config.dump_loss_probability,
+            # pruning is a code-campaign concept; other kinds always
+            # run unpruned so their identities stay policy-free
+            prune=config.prune if kind is CampaignKind.CODE
+            else "none")
 
     def _store(self, store=None):
         """Resolve *store* (path or CampaignStore) or the config's."""

@@ -14,6 +14,7 @@ serial one: per-target seeds derive from the *global* target index.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -22,13 +23,16 @@ from repro.injection.injector import InjectionRun, RunSpec
 from repro.injection.outcomes import (
     CampaignKind, InjectionResult, Outcome,
 )
-from repro.injection.targets import (
-    CodeTarget, DataTarget, RegisterTarget, StackTarget, TargetGenerator,
-)
+from repro.injection.targets import TargetGenerator
 from repro.machine.machine import KSTACK_SIZE, Machine, MachineConfig
 from repro.workload.driver import UnixBenchDriver
 from repro.workload.probe import CleanRunProbe, probe_clean_run
 from repro.workload.profiler import FunctionProfile, profile_kernel
+
+logger = logging.getLogger(__name__)
+
+#: valid ``CampaignConfig.prune`` policies
+PRUNE_POLICIES = ("none", "dead")
 
 
 @dataclass
@@ -40,6 +44,19 @@ class CampaignConfig:
     ops: int = 48                        # monitored workload window
     dump_loss_probability: float = 0.08
     profile_coverage: float = 0.95
+    #: "none", or "dead" to redraw code targets landing on bits the
+    #: static analyzer proves inert (decode-identical flips and
+    #: unreachable code); code campaigns only
+    prune: str = "none"
+
+    def __post_init__(self):
+        if self.prune not in PRUNE_POLICIES:
+            raise ValueError(f"unknown prune policy {self.prune!r}; "
+                             f"expected one of {PRUNE_POLICIES}")
+        if self.prune != "none" and self.kind is not CampaignKind.CODE:
+            raise ValueError(
+                f"prune={self.prune!r} only applies to code "
+                f"campaigns, not {self.kind.value}")
 
 
 @dataclass
@@ -50,6 +67,8 @@ class CampaignResult:
     #: serial path; a recovered failure means its shard was retried
     #: serially and its results are present in ``results`` as usual)
     failures: list = field(default_factory=list)
+    #: draws rejected during target generation by the prune policy
+    pruned_draws: int = 0
 
     @property
     def injected(self) -> int:
@@ -131,6 +150,9 @@ class Campaign:
         self.config = config
         self.context = context if context is not None else \
             CampaignContext.get(config.arch, config.seed, config.ops)
+        #: draws the prune policy rejected in the last
+        #: ``generate_targets`` call (0 when prune is "none")
+        self.pruned_draws = 0
 
     # -- target generation -----------------------------------------------------
 
@@ -142,7 +164,19 @@ class Campaign:
         window = context.run_window
         kind = self.config.kind
         if kind is CampaignKind.CODE:
-            return generator.code_targets(self.config.count)
+            prune_bits = None
+            if self.config.prune == "dead":
+                from repro.static.predictor import dead_code_bits
+                prune_bits = dead_code_bits(self.config.arch)
+            targets = generator.code_targets(self.config.count,
+                                             prune_bits=prune_bits)
+            self.pruned_draws = generator.pruned_draws
+            if prune_bits is not None:
+                logger.info(
+                    "prune-dead (%s): %d prunable bits; %d draw(s) "
+                    "rejected and redrawn", self.config.arch,
+                    len(prune_bits), self.pruned_draws)
+            return targets
         if kind is CampaignKind.STACK:
             machine = context.base_machine
             allocations = {pid: (task.stack_base,
@@ -214,26 +248,29 @@ class Campaign:
         self.context.collector.clear()   # per-campaign reset
         if store is not None:
             from repro.store.resume import run_with_store
-            return run_with_store(self, store, resume=resume,
-                                  progress=progress, workers=workers)
-        if workers > 1:
+            out = run_with_store(self, store, resume=resume,
+                                 progress=progress, workers=workers)
+        elif workers > 1:
             from repro.injection.parallel import run_parallel
-            return run_parallel(self, workers, progress=progress)
-        out = CampaignResult(config=self.config)
-        targets = self.generate_targets()
-        for index, target in enumerate(targets):
-            out.results.append(self.run_target(index, target))
-            if progress is not None:
-                progress(index + 1, len(targets))
+            out = run_parallel(self, workers, progress=progress)
+        else:
+            out = CampaignResult(config=self.config)
+            targets = self.generate_targets()
+            for index, target in enumerate(targets):
+                out.results.append(self.run_target(index, target))
+                if progress is not None:
+                    progress(index + 1, len(targets))
+        # every path above calls generate_targets on this instance
+        out.pruned_draws = self.pruned_draws
         return out
 
 
 def run_campaign(arch: str, kind: CampaignKind, count: int,
                  seed: int = 0, ops: int = 48,
                  workers: int = 1, store=None, resume: bool = False,
-                 progress=None) -> CampaignResult:
+                 progress=None, prune: str = "none") -> CampaignResult:
     """One-call convenience wrapper."""
     config = CampaignConfig(arch=arch, kind=kind, count=count, seed=seed,
-                            ops=ops)
+                            ops=ops, prune=prune)
     return Campaign(config).run(workers=workers, store=store,
                                 resume=resume, progress=progress)

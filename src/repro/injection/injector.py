@@ -26,9 +26,7 @@ from repro.injection.collector import CrashDataCollector
 from repro.injection.outcomes import (
     CampaignKind, InjectionResult, Outcome,
 )
-from repro.injection.targets import (
-    CodeTarget, DataTarget, RegisterTarget, StackTarget,
-)
+from repro.injection.targets import CodeTarget, RegisterTarget
 from repro.isa.bits import bit_flip
 from repro.machine.events import HangDetected, KernelCrash
 from repro.machine.machine import Machine, MachineConfig

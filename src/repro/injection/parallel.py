@@ -39,9 +39,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.injection.campaign import (
-    Campaign, CampaignConfig, CampaignContext, CampaignResult,
-)
+from repro.injection.campaign import Campaign, CampaignContext, CampaignResult
 from repro.injection.outcomes import InjectionResult
 
 #: shards per worker — finer than 1:1 so a fast worker steals work from

@@ -19,7 +19,7 @@ paper's kernel was built with:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.kcc import ast
 from repro.kcc.layout import GlobalInfo, StructLayout

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 KEYWORDS = frozenset({
     "struct", "global", "fn", "var", "if", "else", "while", "return",

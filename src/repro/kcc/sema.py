@@ -11,7 +11,7 @@ unique name.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.kcc import ast
 from repro.kcc.ast import Type, U32

@@ -28,12 +28,11 @@ paper's multi-million-cycle latencies.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.isa.memory import Region
 from repro.kcc.linker import KernelImage
-from repro.kernel import abi
 from repro.kernel.build import build_kernel
 from repro.machine.events import CrashReport, HangDetected, KernelCrash
 from repro.machine.nic import LossyChannel, NIC, encode_crash_packet

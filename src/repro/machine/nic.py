@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 CRASH_PACKET_MAGIC = 0x4E465441        # "NFTA"

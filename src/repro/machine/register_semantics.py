@@ -29,9 +29,7 @@ exception delivery).
 
 from __future__ import annotations
 
-from repro.ppc.registers import (
-    HID0_BTIC, MSR_DR, MSR_IR, SPR_HID0, SPR_SDR1, SPR_SPRG2,
-)
+from repro.ppc.registers import HID0_BTIC, SPR_HID0, SPR_SDR1, SPR_SPRG2
 
 #: DBAT0/IBAT0 cover kernel lowmem in our model
 _IBAT0 = (528, 529)

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.isa.bits import MASK32, sign_extend, to_signed
-from repro.ppc.exceptions import PPCFault, PPCVector, ProgramReason
+from repro.ppc.exceptions import PPCVector, ProgramReason
 from repro.ppc.insn import PPCInstr
 
 # CR0 bits within the 4-bit field (MSB-first PowerPC convention).

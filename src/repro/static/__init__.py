@@ -1,0 +1,52 @@
+"""Static error-sensitivity analysis of the compiled kernel images.
+
+The dynamic campaigns (:mod:`repro.injection`) *measure* what a bit
+flip in kernel text does; this package *predicts* it without executing
+anything, from the compiled images alone:
+
+* :mod:`repro.static.cfg` — cross-ISA control-flow graphs over the
+  decoded text sections (basic blocks split at branches, calls, and
+  returns; intra-function reachability);
+* :mod:`repro.static.effects` — per-ISA def/use and side-effect model
+  of every decoded instruction (the tables behind the dataflow);
+* :mod:`repro.static.liveness` — backward register- and
+  condition-flag-liveness over the CFG;
+* :mod:`repro.static.corruption` — for every (text address, bit), the
+  decode-level consequence of flipping it (illegal opcode, length
+  change, opcode/operand substitution, no decode change);
+* :mod:`repro.static.predictor` — folds reachability + liveness +
+  corruption class into a per-bit predicted outcome, emitted as a
+  :class:`repro.static.report.StaticSensitivityReport`.
+
+``analysis.validate_static`` compares a report against a dynamic
+``CampaignResult``; ``TargetGenerator.code_targets(prune=...)`` uses
+the report's provably-dead bit set to skip injections that cannot
+manifest.
+"""
+
+from repro.static.cfg import BasicBlock, FunctionCFG, KernelCFG, build_cfg
+from repro.static.corruption import CorruptionClass, classify_flip
+from repro.static.effects import InsnEffects, insn_effects
+from repro.static.liveness import LivenessResult, compute_liveness
+from repro.static.predictor import (
+    PredictedOutcome, analyze_image, analyze_kernel,
+)
+from repro.static.report import BitPrediction, StaticSensitivityReport
+
+__all__ = [
+    "BasicBlock",
+    "BitPrediction",
+    "CorruptionClass",
+    "FunctionCFG",
+    "InsnEffects",
+    "KernelCFG",
+    "LivenessResult",
+    "PredictedOutcome",
+    "StaticSensitivityReport",
+    "analyze_image",
+    "analyze_kernel",
+    "build_cfg",
+    "classify_flip",
+    "compute_liveness",
+    "insn_effects",
+]

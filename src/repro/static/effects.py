@@ -1,0 +1,1118 @@
+"""Per-ISA def/use and side-effect model of decoded instructions.
+
+Every decoded instruction (``x86.insn.Instr`` / ``ppc.insn.PPCInstr``)
+is mapped to an :class:`InsnEffects` record: the architectural
+*resources* it reads and writes, whether it touches memory, how it
+terminates (or does not terminate) a basic block, and whether it can
+fault on its own.  The tables below are keyed by the decoder's
+``execute`` function object, so they stay mechanically in sync with
+the decode tables — an instruction the decoder can produce but the
+table does not know is a hard error, not a silent default.
+
+Resource vocabulary (the liveness domain):
+
+* x86 — the eight 32-bit GPRs by name (``eax`` … ``edi``; 8/16-bit
+  accesses alias their parent register) plus ``eflags``, meaning the
+  arithmetic condition flags as one unit.  Partial-flag updates
+  (``inc``, ``bt``, ``clc``…) are modelled read-modify-write so they
+  never kill flag liveness; system bits (IF, NT) are *not* part of
+  the resource, so ``cli``/``sti`` neither use nor define it.
+* ppc — ``r0`` … ``r31``, ``lr``, ``ctr``, ``xer``, and the eight
+  condition fields ``cr0`` … ``cr7`` as separate resources.
+
+Supervisor state (segment registers, control registers, MSR, unnamed
+SPRs — see :mod:`repro.machine.register_semantics`) is outside the
+liveness domain; instructions touching it set ``system`` and are
+never dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Tuple, Union
+
+from repro.x86 import decoder as xdec
+from repro.x86.insn import Instr
+from repro.x86.registers import GPR_NAMES
+from repro.ppc import decoder as pdec
+from repro.ppc.insn import PPCInstr
+from repro.ppc.registers import SPR_CTR, SPR_LR, SPR_XER
+
+# -- block-terminator kinds -------------------------------------------------
+
+#: straight-line; execution continues at the next instruction
+KIND_FALL = "fall"
+#: unconditional direct jump (successor: target only)
+KIND_JUMP = "jump"
+#: conditional direct branch (successors: target + fallthrough)
+KIND_BRANCH = "branch"
+#: direct call (successor: fallthrough; target is another function)
+KIND_CALL = "call"
+#: indirect call through a register/memory value (successor: fallthrough)
+KIND_CALL_INDIRECT = "call-indirect"
+#: function return (no intra-function successor)
+KIND_RET = "ret"
+#: indirect jump (successors statically unknown)
+KIND_JUMP_INDIRECT = "jump-indirect"
+#: architecturally guaranteed fault (ud2, undefined encodings)
+KIND_ILLEGAL = "illegal"
+#: halts the processor (no successor)
+KIND_HALT = "halt"
+
+#: kinds that end a basic block
+TERMINATOR_KINDS = frozenset({
+    KIND_JUMP, KIND_BRANCH, KIND_CALL, KIND_CALL_INDIRECT,
+    KIND_RET, KIND_JUMP_INDIRECT, KIND_ILLEGAL, KIND_HALT,
+})
+
+MASK32 = 0xFFFFFFFF
+
+EFLAGS = "eflags"
+
+X86_RESOURCES: Tuple[str, ...] = GPR_NAMES + (EFLAGS,)
+
+PPC_GPRS: Tuple[str, ...] = tuple(f"r{n}" for n in range(32))
+PPC_CRS: Tuple[str, ...] = tuple(f"cr{n}" for n in range(8))
+PPC_RESOURCES: Tuple[str, ...] = PPC_GPRS + ("lr", "ctr", "xer") + PPC_CRS
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class InsnEffects:
+    """Architectural effect summary of one decoded instruction."""
+
+    uses: FrozenSet[str] = _EMPTY
+    defs: FrozenSet[str] = _EMPTY
+    reads_mem: bool = False
+    writes_mem: bool = False
+    kind: str = KIND_FALL
+    #: statically known branch/call target (``None`` for indirect)
+    target: Optional[int] = None
+    #: can fault architecturally without any corruption (traps,
+    #: privileged checks, alignment, divide error, …)
+    may_fault: bool = False
+    #: reads or writes supervisor state outside the liveness domain
+    system: bool = False
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.kind in TERMINATOR_KINDS
+
+
+class UnknownInstructionError(LookupError):
+    """The effect table has no entry for this execute function."""
+
+
+# ---------------------------------------------------------------------------
+# x86
+# ---------------------------------------------------------------------------
+
+def _xr(reg: int, width: int) -> str:
+    """Canonical GPR resource for a register operand of a given width.
+
+    8-bit registers 4-7 are ah/ch/dh/bh and alias eax..ebx.
+    """
+    if width == 1 and reg >= 4:
+        return GPR_NAMES[reg - 4]
+    return GPR_NAMES[reg]
+
+
+def _x_mem_uses(i: Instr) -> set:
+    uses = set()
+    if i.base >= 0:
+        uses.add(GPR_NAMES[i.base])
+    if i.index >= 0:
+        uses.add(GPR_NAMES[i.index])
+    return uses
+
+
+def _x_rel_target(i: Instr, addr: int) -> int:
+    # cpu.eip at execute time is the next instruction's address
+    return (addr + i.length + i.imm) & MASK32
+
+
+_XFX = Dict[Callable, Callable[[Instr, int], InsnEffects]]
+_X86_EFFECTS: _XFX = {}
+
+
+def _x86(fn: Callable) -> Callable:
+    def register(handler: Callable[[Instr, int], InsnEffects]) -> Callable:
+        _X86_EFFECTS[fn] = handler
+        return handler
+    return register
+
+
+def _alu_family(i: Instr, dest_rm: bool, has_reg_operand: bool) -> InsnEffects:
+    """Shared shape of alu_rm_r / alu_r_rm / grp1_rm_imm.
+
+    ``i.reg`` is a register operand only for the two-register forms;
+    for grp1 it carries the modrm /op digit and must be ignored.
+    """
+    uses = _x_mem_uses(i)
+    defs = {EFLAGS}
+    reads = writes = False
+    if i.op2 in (xdec.ALU_ADC, xdec.ALU_SBB):
+        uses.add(EFLAGS)
+    writeback = i.op2 != xdec.ALU_CMP
+    if i.rm_reg >= 0:
+        uses.add(_xr(i.rm_reg, i.width))
+        if dest_rm and writeback:
+            defs.add(_xr(i.rm_reg, i.width))
+    else:
+        reads = True
+        if dest_rm and writeback:
+            writes = True
+    if has_reg_operand:
+        uses.add(_xr(i.reg, i.width))
+        if not dest_rm and writeback:
+            defs.add(_xr(i.reg, i.width))
+    return InsnEffects(frozenset(uses), frozenset(defs), reads, writes,
+                       may_fault=reads or writes)
+
+
+@_x86(xdec.exec_alu_rm_r)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return _alu_family(i, dest_rm=True, has_reg_operand=True)
+
+
+@_x86(xdec.exec_alu_r_rm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return _alu_family(i, dest_rm=False, has_reg_operand=True)
+
+
+@_x86(xdec.exec_alu_a_imm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    acc = _xr(0, i.width)
+    uses = {acc}
+    if i.op2 in (xdec.ALU_ADC, xdec.ALU_SBB):
+        uses.add(EFLAGS)
+    defs = {EFLAGS}
+    if i.op2 != xdec.ALU_CMP:
+        defs.add(acc)
+    return InsnEffects(frozenset(uses), frozenset(defs))
+
+
+@_x86(xdec.exec_grp1_rm_imm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return _alu_family(i, dest_rm=True, has_reg_operand=False)
+
+
+@_x86(xdec.exec_test_rm_r)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i) | {_xr(i.reg, i.width)}
+    reads = i.rm_reg < 0
+    if not reads:
+        uses.add(_xr(i.rm_reg, i.width))
+    return InsnEffects(frozenset(uses), frozenset({EFLAGS}), reads,
+                       may_fault=reads)
+
+
+@_x86(xdec.exec_test_a_imm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_xr(0, i.width)}), frozenset({EFLAGS}))
+
+
+@_x86(xdec.exec_mov_rm_r)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i) | {_xr(i.reg, i.width)}
+    if i.rm_reg >= 0:
+        return InsnEffects(frozenset(uses),
+                           frozenset({_xr(i.rm_reg, i.width)}))
+    return InsnEffects(frozenset(uses), _EMPTY, writes_mem=True,
+                       may_fault=True)
+
+
+@_x86(xdec.exec_mov_r_rm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i)
+    reads = i.rm_reg < 0
+    if not reads:
+        uses.add(_xr(i.rm_reg, i.width))
+    return InsnEffects(frozenset(uses), frozenset({_xr(i.reg, i.width)}),
+                       reads, may_fault=reads)
+
+
+@_x86(xdec.exec_mov_r_imm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(_EMPTY, frozenset({_xr(i.reg, i.width)}))
+
+
+@_x86(xdec.exec_mov_rm_imm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    if i.rm_reg >= 0:
+        return InsnEffects(_EMPTY, frozenset({_xr(i.rm_reg, i.width)}))
+    return InsnEffects(frozenset(_x_mem_uses(i)), _EMPTY, writes_mem=True,
+                       may_fault=True)
+
+
+def _x_load_to_reg(i: Instr, src_width: int) -> InsnEffects:
+    uses = _x_mem_uses(i)
+    reads = i.rm_reg < 0
+    if not reads:
+        uses.add(_xr(i.rm_reg, src_width))
+    return InsnEffects(frozenset(uses), frozenset({_xr(i.reg, 4)}),
+                       reads, may_fault=reads)
+
+
+@_x86(xdec.exec_movzx)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return _x_load_to_reg(i, i.op2)
+
+
+@_x86(xdec.exec_movsx)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return _x_load_to_reg(i, i.op2)
+
+
+@_x86(xdec.exec_lea)
+def _(i: Instr, addr: int) -> InsnEffects:
+    if i.rm_reg >= 0:      # undefined: lea with register rm faults
+        return InsnEffects(kind=KIND_ILLEGAL, may_fault=True)
+    return InsnEffects(frozenset(_x_mem_uses(i)),
+                       frozenset({_xr(i.reg, 4)}))
+
+
+@_x86(xdec.exec_moffs_load)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(_EMPTY, frozenset({_xr(0, i.width)}),
+                       reads_mem=True, may_fault=True)
+
+
+@_x86(xdec.exec_moffs_store)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_xr(0, i.width)}), _EMPTY,
+                       writes_mem=True, may_fault=True)
+
+
+@_x86(xdec.exec_xchg_r_rm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i) | {_xr(i.reg, i.width)}
+    defs = {_xr(i.reg, i.width)}
+    if i.rm_reg >= 0:
+        uses.add(_xr(i.rm_reg, i.width))
+        defs.add(_xr(i.rm_reg, i.width))
+        return InsnEffects(frozenset(uses), frozenset(defs))
+    return InsnEffects(frozenset(uses), frozenset(defs), True, True,
+                       may_fault=True)
+
+
+@_x86(xdec.exec_xchg_eax_r)
+def _(i: Instr, addr: int) -> InsnEffects:
+    pair = frozenset({"eax", GPR_NAMES[i.reg]})
+    return InsnEffects(pair, pair)
+
+
+@_x86(xdec.exec_cdq)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({"eax"}), frozenset({"edx"}))
+
+
+@_x86(xdec.exec_cwde)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({"eax"}), frozenset({"eax"}))
+
+
+@_x86(xdec.exec_push_r)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({GPR_NAMES[i.reg], "esp"}),
+                       frozenset({"esp"}), writes_mem=True, may_fault=True)
+
+
+@_x86(xdec.exec_pop_r)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({"esp"}),
+                       frozenset({GPR_NAMES[i.reg], "esp"}),
+                       reads_mem=True, may_fault=True)
+
+
+@_x86(xdec.exec_push_imm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({"esp"}), frozenset({"esp"}),
+                       writes_mem=True, may_fault=True)
+
+
+@_x86(xdec.exec_pop_rm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i) | {"esp"}
+    defs = {"esp"}
+    writes = False
+    if i.rm_reg >= 0:
+        defs.add(GPR_NAMES[i.rm_reg])
+    else:
+        writes = True
+    return InsnEffects(frozenset(uses), frozenset(defs), True, writes,
+                       may_fault=True)
+
+
+@_x86(xdec.exec_pushfd)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({EFLAGS, "esp"}), frozenset({"esp"}),
+                       writes_mem=True, may_fault=True)
+
+
+@_x86(xdec.exec_popfd)
+def _(i: Instr, addr: int) -> InsnEffects:
+    # restores system bits (IF, NT) too: mark as system state
+    return InsnEffects(frozenset({"esp"}), frozenset({EFLAGS, "esp"}),
+                       reads_mem=True, may_fault=True, system=True)
+
+
+@_x86(xdec.exec_leave)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({"ebp"}), frozenset({"esp", "ebp"}),
+                       reads_mem=True, may_fault=True)
+
+
+@_x86(xdec.exec_inc_r)
+def _(i: Instr, addr: int) -> InsnEffects:
+    # inc/dec preserve CF: read-modify-write of the flag resource
+    return InsnEffects(frozenset({GPR_NAMES[i.reg], EFLAGS}),
+                       frozenset({GPR_NAMES[i.reg], EFLAGS}))
+
+
+@_x86(xdec.exec_dec_r)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({GPR_NAMES[i.reg], EFLAGS}),
+                       frozenset({GPR_NAMES[i.reg], EFLAGS}))
+
+
+@_x86(xdec.exec_grp5)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i)
+    rm_is_reg = i.rm_reg >= 0
+    if i.op2 in (0, 1):            # inc/dec r/m (CF preserved)
+        uses.add(EFLAGS)
+        defs = {EFLAGS}
+        if rm_is_reg:
+            uses.add(_xr(i.rm_reg, i.width))
+            defs.add(_xr(i.rm_reg, i.width))
+            return InsnEffects(frozenset(uses), frozenset(defs))
+        return InsnEffects(frozenset(uses), frozenset(defs), True, True,
+                           may_fault=True)
+    if i.op2 == 2:                 # call r/m
+        if rm_is_reg:
+            uses.add(GPR_NAMES[i.rm_reg])
+        uses.add("esp")
+        return InsnEffects(frozenset(uses), frozenset({"esp"}),
+                           reads_mem=not rm_is_reg, writes_mem=True,
+                           kind=KIND_CALL_INDIRECT, may_fault=True)
+    if i.op2 == 4:                 # jmp r/m
+        if rm_is_reg:
+            uses.add(GPR_NAMES[i.rm_reg])
+        return InsnEffects(frozenset(uses), _EMPTY,
+                           reads_mem=not rm_is_reg,
+                           kind=KIND_JUMP_INDIRECT, may_fault=True)
+    if i.op2 == 6:                 # push r/m
+        if rm_is_reg:
+            uses.add(GPR_NAMES[i.rm_reg])
+        uses.add("esp")
+        return InsnEffects(frozenset(uses), frozenset({"esp"}),
+                           reads_mem=not rm_is_reg, writes_mem=True,
+                           may_fault=True)
+    return InsnEffects(kind=KIND_ILLEGAL, may_fault=True)
+
+
+@_x86(xdec.exec_ret)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({"esp"}), frozenset({"esp"}),
+                       reads_mem=True, kind=KIND_RET, may_fault=True)
+
+
+@_x86(xdec.exec_call_rel)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({"esp"}), frozenset({"esp"}),
+                       writes_mem=True, kind=KIND_CALL,
+                       target=_x_rel_target(i, addr), may_fault=True)
+
+
+@_x86(xdec.exec_jmp_rel)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(kind=KIND_JUMP, target=_x_rel_target(i, addr))
+
+
+@_x86(xdec.exec_jcc)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({EFLAGS}), _EMPTY, kind=KIND_BRANCH,
+                       target=_x_rel_target(i, addr))
+
+
+@_x86(xdec.exec_grp2)
+def _(i: Instr, addr: int) -> InsnEffects:
+    op = i.op2 & 7
+    if op in (2, 3, 6):            # rcl/rcr/undefined shift: faults
+        return InsnEffects(kind=KIND_ILLEGAL, may_fault=True)
+    uses = _x_mem_uses(i)
+    defs = {EFLAGS}
+    if (i.op2 >> 3) == 2:          # count in CL
+        uses.add("ecx")
+    reads = writes = False
+    if i.rm_reg >= 0:
+        uses.add(_xr(i.rm_reg, i.width))
+        defs.add(_xr(i.rm_reg, i.width))
+    else:
+        reads = writes = True
+    # count may be zero (flags untouched): model flags as RMW
+    uses.add(EFLAGS)
+    return InsnEffects(frozenset(uses), frozenset(defs), reads, writes,
+                       may_fault=reads)
+
+
+@_x86(xdec.exec_grp3)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i)
+    reads = i.rm_reg < 0
+    if not reads:
+        uses.add(_xr(i.rm_reg, i.width))
+    defs = set()
+    writes = False
+    fault = reads
+    if i.op2 in (0, 1):            # test r/m, imm
+        defs.add(EFLAGS)
+    elif i.op2 == 2:               # not (no flags)
+        if i.rm_reg >= 0:
+            defs.add(_xr(i.rm_reg, i.width))
+        else:
+            writes = True
+    elif i.op2 == 3:               # neg
+        defs.add(EFLAGS)
+        if i.rm_reg >= 0:
+            defs.add(_xr(i.rm_reg, i.width))
+        else:
+            writes = True
+    elif i.op2 in (4, 5):          # mul/imul: eax (and edx when 32-bit)
+        uses.add(_xr(0, i.width))
+        defs.add(_xr(0, i.width))
+        if i.width == 4:
+            defs.add("edx")
+    else:                          # div/idiv: can raise divide error
+        uses.add(_xr(0, i.width))
+        defs.add(_xr(0, i.width))
+        if i.width == 4:
+            uses.add("edx")
+            defs.add("edx")
+        fault = True
+    return InsnEffects(frozenset(uses), frozenset(defs), reads, writes,
+                       may_fault=fault)
+
+
+@_x86(xdec.exec_imul_r_rm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i) | {_xr(i.reg, i.width)}
+    reads = i.rm_reg < 0
+    if not reads:
+        uses.add(_xr(i.rm_reg, i.width))
+    return InsnEffects(frozenset(uses), frozenset({_xr(i.reg, i.width)}),
+                       reads, may_fault=reads)
+
+
+@_x86(xdec.exec_imul_rmi)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i)
+    reads = i.rm_reg < 0
+    if not reads:
+        uses.add(_xr(i.rm_reg, i.width))
+    return InsnEffects(frozenset(uses), frozenset({_xr(i.reg, i.width)}),
+                       reads, may_fault=reads)
+
+
+@_x86(xdec.exec_nop)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects()
+
+
+def _flag_rmw(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({EFLAGS}), frozenset({EFLAGS}))
+
+
+_X86_EFFECTS[xdec.exec_clc] = _flag_rmw
+_X86_EFFECTS[xdec.exec_stc] = _flag_rmw
+_X86_EFFECTS[xdec.exec_cmc] = _flag_rmw
+
+
+@_x86(xdec.exec_ud2)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(kind=KIND_ILLEGAL, may_fault=True)
+
+
+@_x86(xdec.exec_invalid)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(kind=KIND_ILLEGAL, may_fault=True)
+
+
+@_x86(xdec.exec_int)
+def _(i: Instr, addr: int) -> InsnEffects:
+    # int 0x80 raises SYSCALL; anything else may GP-fault or invoke a
+    # real handler.  Either way it leaves straight-line flow.
+    return InsnEffects(may_fault=True, system=True)
+
+
+@_x86(xdec.exec_int3)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(system=True)
+
+
+@_x86(xdec.exec_into)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({EFLAGS}), _EMPTY, may_fault=True)
+
+
+@_x86(xdec.exec_iret)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({"esp", EFLAGS}),
+                       frozenset({"esp", EFLAGS}), reads_mem=True,
+                       kind=KIND_RET, may_fault=True, system=True)
+
+
+@_x86(xdec.exec_hlt)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(kind=KIND_HALT, system=True)
+
+
+@_x86(xdec.exec_cli)
+def _(i: Instr, addr: int) -> InsnEffects:
+    # IF is not part of the eflags liveness resource
+    return InsnEffects(system=True)
+
+
+@_x86(xdec.exec_sti)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(system=True)
+
+
+@_x86(xdec.exec_bound)
+def _(i: Instr, addr: int) -> InsnEffects:
+    if i.rm_reg >= 0:
+        return InsnEffects(kind=KIND_ILLEGAL, may_fault=True)
+    uses = _x_mem_uses(i) | {GPR_NAMES[i.reg]}
+    return InsnEffects(frozenset(uses), _EMPTY, reads_mem=True,
+                       may_fault=True)
+
+
+@_x86(xdec.exec_push_sreg)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({"esp"}), frozenset({"esp"}),
+                       writes_mem=True, may_fault=True, system=True)
+
+
+@_x86(xdec.exec_pop_sreg)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({"esp"}), frozenset({"esp"}),
+                       reads_mem=True, may_fault=True, system=True)
+
+
+@_x86(xdec.exec_mov_sreg_rm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i)
+    reads = i.rm_reg < 0
+    if not reads:
+        uses.add(_xr(i.rm_reg, 2))
+    return InsnEffects(frozenset(uses), _EMPTY, reads,
+                       may_fault=True, system=True)
+
+
+@_x86(xdec.exec_mov_rm_sreg)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i)
+    if i.rm_reg >= 0:
+        return InsnEffects(frozenset(uses),
+                           frozenset({GPR_NAMES[i.rm_reg]}), system=True)
+    return InsnEffects(frozenset(uses), _EMPTY, writes_mem=True,
+                       may_fault=True, system=True)
+
+
+@_x86(xdec.exec_mov_cr)
+def _(i: Instr, addr: int) -> InsnEffects:
+    gpr = GPR_NAMES[i.rm_reg if i.rm_reg >= 0 else 0]
+    if i.op2 == 0:                 # mov r32, crN
+        return InsnEffects(_EMPTY, frozenset({gpr}), system=True)
+    # mov crN, r32: can flip paging/PE — full system write
+    return InsnEffects(frozenset({gpr}), _EMPTY, may_fault=True,
+                       system=True)
+
+
+@_x86(xdec.exec_movs)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = {"esi", "edi"}
+    defs = {"esi", "edi"}
+    if i.op2:                      # rep
+        uses.add("ecx")
+        defs.add("ecx")
+    return InsnEffects(frozenset(uses), frozenset(defs), True, True,
+                       may_fault=True)
+
+
+@_x86(xdec.exec_stos)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = {"edi", "eax"}
+    defs = {"edi"}
+    if i.op2:
+        uses.add("ecx")
+        defs.add("ecx")
+    return InsnEffects(frozenset(uses), frozenset(defs), False, True,
+                       may_fault=True)
+
+
+@_x86(xdec.exec_setcc)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i) | {EFLAGS}
+    if i.rm_reg >= 0:
+        return InsnEffects(frozenset(uses),
+                           frozenset({_xr(i.rm_reg, 1)}))
+    return InsnEffects(frozenset(uses), _EMPTY, writes_mem=True,
+                       may_fault=True)
+
+
+@_x86(xdec.exec_cmovcc)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i) | {EFLAGS}
+    reads = i.rm_reg < 0
+    if not reads:
+        uses.add(_xr(i.rm_reg, i.width))
+    # conditional write: destination keeps its old value when the
+    # condition fails, so the def is also a use
+    dest = _xr(i.reg, i.width)
+    uses.add(dest)
+    return InsnEffects(frozenset(uses), frozenset({dest}), reads,
+                       may_fault=reads)
+
+
+def _bt_family(i: Instr, bit_from_reg: bool) -> InsnEffects:
+    uses = _x_mem_uses(i) | {EFLAGS}
+    if bit_from_reg:
+        uses.add(_xr(i.reg, 4))
+    defs = {EFLAGS}                # CF only: modelled RMW via uses
+    reads = writes = False
+    if i.rm_reg >= 0:
+        uses.add(_xr(i.rm_reg, 4))
+        if i.op2:
+            defs.add(_xr(i.rm_reg, 4))
+    else:
+        reads = True
+        writes = bool(i.op2)
+    return InsnEffects(frozenset(uses), frozenset(defs), reads, writes,
+                       may_fault=reads)
+
+
+@_x86(xdec.exec_bt)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return _bt_family(i, bit_from_reg=True)
+
+
+@_x86(xdec.exec_bt_imm)
+def _(i: Instr, addr: int) -> InsnEffects:
+    return _bt_family(i, bit_from_reg=False)
+
+
+def _bscan(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i) | {EFLAGS}
+    reads = i.rm_reg < 0
+    if not reads:
+        uses.add(_xr(i.rm_reg, 4))
+    dest = _xr(i.reg, 4)
+    uses.add(dest)                 # unwritten when the source is zero
+    return InsnEffects(frozenset(uses), frozenset({dest, EFLAGS}), reads,
+                       may_fault=reads)
+
+
+_X86_EFFECTS[xdec.exec_bsf] = _bscan
+_X86_EFFECTS[xdec.exec_bsr] = _bscan
+
+
+@_x86(xdec.exec_shld)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i) | {_xr(i.reg, 4), EFLAGS}
+    defs = {EFLAGS}
+    reads = writes = False
+    if i.rm_reg >= 0:
+        uses.add(_xr(i.rm_reg, 4))
+        defs.add(_xr(i.rm_reg, 4))
+    else:
+        reads = writes = True
+    return InsnEffects(frozenset(uses), frozenset(defs), reads, writes,
+                       may_fault=reads)
+
+
+@_x86(xdec.exec_xadd)
+def _(i: Instr, addr: int) -> InsnEffects:
+    uses = _x_mem_uses(i) | {_xr(i.reg, i.width)}
+    defs = {_xr(i.reg, i.width), EFLAGS}
+    reads = writes = False
+    if i.rm_reg >= 0:
+        uses.add(_xr(i.rm_reg, i.width))
+        defs.add(_xr(i.rm_reg, i.width))
+    else:
+        reads = writes = True
+    return InsnEffects(frozenset(uses), frozenset(defs), reads, writes,
+                       may_fault=reads)
+
+
+@_x86(xdec.exec_cmpxchg)
+def _(i: Instr, addr: int) -> InsnEffects:
+    acc = _xr(0, i.width)
+    uses = _x_mem_uses(i) | {acc, _xr(i.reg, i.width)}
+    defs = {acc, EFLAGS}
+    reads = writes = False
+    if i.rm_reg >= 0:
+        uses.add(_xr(i.rm_reg, i.width))
+        defs.add(_xr(i.rm_reg, i.width))
+    else:
+        reads = writes = True
+    return InsnEffects(frozenset(uses), frozenset(defs), reads, writes,
+                       may_fault=reads)
+
+
+# ---------------------------------------------------------------------------
+# ppc
+# ---------------------------------------------------------------------------
+
+_PFX = Dict[Callable, Callable[[PPCInstr, int], InsnEffects]]
+_PPC_EFFECTS: _PFX = {}
+
+
+def _ppc(fn: Callable) -> Callable:
+    def register(handler: Callable[[PPCInstr, int], InsnEffects]) -> Callable:
+        _PPC_EFFECTS[fn] = handler
+        return handler
+    return register
+
+
+def _g(n: int) -> str:
+    return PPC_GPRS[n]
+
+
+@_ppc(pdec.exec_illegal)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(kind=KIND_ILLEGAL, may_fault=True)
+
+
+def _d_arith(i: PPCInstr, addr: int) -> InsnEffects:
+    """addi/addis: rt <- (ra|0) + imm."""
+    uses = frozenset({_g(i.ra)}) if i.ra else _EMPTY
+    return InsnEffects(uses, frozenset({_g(i.rt)}))
+
+
+_PPC_EFFECTS[pdec.exec_addi] = _d_arith
+_PPC_EFFECTS[pdec.exec_addis] = _d_arith
+
+
+def _d_carry(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.ra)}),
+                       frozenset({_g(i.rt), "xer"}))
+
+
+_PPC_EFFECTS[pdec.exec_addic] = _d_carry
+_PPC_EFFECTS[pdec.exec_subfic] = _d_carry
+
+
+@_ppc(pdec.exec_adde)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.ra), _g(i.rb), "xer"}),
+                       frozenset({_g(i.rt), "xer"}))
+
+
+@_ppc(pdec.exec_addze)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.ra), "xer"}),
+                       frozenset({_g(i.rt), "xer"}))
+
+
+def _logic_unary(i: PPCInstr, addr: int) -> InsnEffects:
+    """cntlzw/extsb/extsh/srawi/ori/…: ra <- f(rt)."""
+    return InsnEffects(frozenset({_g(i.rt)}), frozenset({_g(i.ra)}))
+
+
+for _fn in (pdec.exec_cntlzw, pdec.exec_extsb, pdec.exec_extsh,
+            pdec.exec_srawi, pdec.exec_ori, pdec.exec_oris,
+            pdec.exec_xori, pdec.exec_xoris, pdec.exec_rlwinm):
+    _PPC_EFFECTS[_fn] = _logic_unary
+
+
+def _andi_dot(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.rt)}),
+                       frozenset({_g(i.ra), "cr0"}))
+
+
+_PPC_EFFECTS[pdec.exec_andi_dot] = _andi_dot
+_PPC_EFFECTS[pdec.exec_andis_dot] = _andi_dot
+
+
+@_ppc(pdec.exec_mulli)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.ra)}), frozenset({_g(i.rt)}))
+
+
+def _xo_arith(i: PPCInstr, addr: int) -> InsnEffects:
+    """add/subf/mullw/divw/divwu: rt <- ra op rb (no trap on ppc)."""
+    return InsnEffects(frozenset({_g(i.ra), _g(i.rb)}),
+                       frozenset({_g(i.rt)}))
+
+
+for _fn in (pdec.exec_add, pdec.exec_subf, pdec.exec_mullw,
+            pdec.exec_divw, pdec.exec_divwu):
+    _PPC_EFFECTS[_fn] = _xo_arith
+
+
+@_ppc(pdec.exec_neg)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.ra)}), frozenset({_g(i.rt)}))
+
+
+def _logic_binary(i: PPCInstr, addr: int) -> InsnEffects:
+    """and/or/xor/nand/nor/slw/srw/sraw: ra <- rt op rb."""
+    return InsnEffects(frozenset({_g(i.rt), _g(i.rb)}),
+                       frozenset({_g(i.ra)}))
+
+
+for _fn in (pdec.exec_and, pdec.exec_or, pdec.exec_xor, pdec.exec_nand,
+            pdec.exec_nor, pdec.exec_slw, pdec.exec_srw, pdec.exec_sraw):
+    _PPC_EFFECTS[_fn] = _logic_binary
+
+
+def _cmp_imm(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.ra)}),
+                       frozenset({PPC_CRS[i.op2]}))
+
+
+_PPC_EFFECTS[pdec.exec_cmpwi] = _cmp_imm
+_PPC_EFFECTS[pdec.exec_cmplwi] = _cmp_imm
+
+
+def _cmp_reg(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.ra), _g(i.rb)}),
+                       frozenset({PPC_CRS[i.op2]}))
+
+
+_PPC_EFFECTS[pdec.exec_cmpw] = _cmp_reg
+_PPC_EFFECTS[pdec.exec_cmplw] = _cmp_reg
+
+
+def _d_load(i: PPCInstr, addr: int) -> InsnEffects:
+    uses = frozenset({_g(i.ra)}) if i.ra else _EMPTY
+    return InsnEffects(uses, frozenset({_g(i.rt)}), reads_mem=True,
+                       may_fault=True)
+
+
+for _fn in (pdec.exec_lwz, pdec.exec_lbz, pdec.exec_lhz, pdec.exec_lha):
+    _PPC_EFFECTS[_fn] = _d_load
+
+
+@_ppc(pdec.exec_lwzu)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.ra)}),
+                       frozenset({_g(i.rt), _g(i.ra)}), reads_mem=True,
+                       may_fault=True)
+
+
+def _d_store(i: PPCInstr, addr: int) -> InsnEffects:
+    uses = {_g(i.rt)}
+    if i.ra:
+        uses.add(_g(i.ra))
+    return InsnEffects(frozenset(uses), _EMPTY, writes_mem=True,
+                       may_fault=True)
+
+
+for _fn in (pdec.exec_stw, pdec.exec_stb, pdec.exec_sth):
+    _PPC_EFFECTS[_fn] = _d_store
+
+
+@_ppc(pdec.exec_stwu)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.rt), _g(i.ra)}),
+                       frozenset({_g(i.ra)}), writes_mem=True,
+                       may_fault=True)
+
+
+def _x_load(i: PPCInstr, addr: int) -> InsnEffects:
+    uses = {_g(i.rb)}
+    if i.ra:
+        uses.add(_g(i.ra))
+    return InsnEffects(frozenset(uses), frozenset({_g(i.rt)}),
+                       reads_mem=True, may_fault=True)
+
+
+for _fn in (pdec.exec_lwzx, pdec.exec_lbzx, pdec.exec_lhzx,
+            pdec.exec_lhax):
+    _PPC_EFFECTS[_fn] = _x_load
+
+
+def _x_store(i: PPCInstr, addr: int) -> InsnEffects:
+    uses = {_g(i.rt), _g(i.rb)}
+    if i.ra:
+        uses.add(_g(i.ra))
+    return InsnEffects(frozenset(uses), _EMPTY, writes_mem=True,
+                       may_fault=True)
+
+
+for _fn in (pdec.exec_stwx, pdec.exec_stbx, pdec.exec_sthx):
+    _PPC_EFFECTS[_fn] = _x_store
+
+
+@_ppc(pdec.exec_lmw)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    uses = frozenset({_g(i.ra)}) if i.ra else _EMPTY
+    return InsnEffects(uses,
+                       frozenset(_g(n) for n in range(i.rt, 32)),
+                       reads_mem=True, may_fault=True)
+
+
+@_ppc(pdec.exec_stmw)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    uses = set(_g(n) for n in range(i.rt, 32))
+    if i.ra:
+        uses.add(_g(i.ra))
+    return InsnEffects(frozenset(uses), _EMPTY, writes_mem=True,
+                       may_fault=True)
+
+
+def _bc_cond_resources(i: PPCInstr) -> Tuple[set, set]:
+    """uses/defs from the BO/BI condition machinery of bc-family."""
+    bo, bi = i.rt, i.ra
+    uses: set = set()
+    defs: set = set()
+    if not bo & 0x4:               # decrements and tests CTR
+        uses.add("ctr")
+        defs.add("ctr")
+    if not bo & 0x10:              # tests a CR bit
+        uses.add(PPC_CRS[bi >> 2])
+    return uses, defs
+
+
+def _bc_is_conditional(i: PPCInstr) -> bool:
+    bo = i.rt
+    return not (bo & 0x4 and bo & 0x10)
+
+
+@_ppc(pdec.exec_b)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    target = i.imm if i.op2 & 2 else (addr + i.imm) & MASK32
+    if i.op2 & 1:                  # bl: call
+        return InsnEffects(_EMPTY, frozenset({"lr"}), kind=KIND_CALL,
+                           target=target)
+    return InsnEffects(kind=KIND_JUMP, target=target)
+
+
+@_ppc(pdec.exec_bc)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    uses, defs = _bc_cond_resources(i)
+    target = i.imm if i.op2 & 2 else (addr + i.imm) & MASK32
+    if i.op2 & 1:
+        defs.add("lr")
+        kind = KIND_CALL
+    elif _bc_is_conditional(i):
+        kind = KIND_BRANCH
+    else:
+        kind = KIND_JUMP
+    return InsnEffects(frozenset(uses), frozenset(defs), kind=kind,
+                       target=target)
+
+
+@_ppc(pdec.exec_bclr)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    uses, defs = _bc_cond_resources(i)
+    uses.add("lr")
+    if i.op2 & 1:
+        defs.add("lr")
+    kind = KIND_RET if not _bc_is_conditional(i) else KIND_BRANCH
+    return InsnEffects(frozenset(uses), frozenset(defs), kind=kind)
+
+
+@_ppc(pdec.exec_bcctr)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    uses, defs = _bc_cond_resources(i)
+    uses.add("ctr")
+    defs.discard("ctr")            # bcctr never decrements CTR
+    if i.op2 & 1:
+        defs.add("lr")
+    return InsnEffects(frozenset(uses), frozenset(defs),
+                       kind=KIND_JUMP_INDIRECT)
+
+
+@_ppc(pdec.exec_sc)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(may_fault=True, system=True)
+
+
+@_ppc(pdec.exec_twi)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.ra)}), _EMPTY, may_fault=True)
+
+
+@_ppc(pdec.exec_tw)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.ra), _g(i.rb)}), _EMPTY,
+                       may_fault=True)
+
+
+_NAMED_SPRS = {SPR_XER: "xer", SPR_LR: "lr", SPR_CTR: "ctr"}
+
+
+@_ppc(pdec.exec_mfspr)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    named = _NAMED_SPRS.get(i.imm)
+    uses = frozenset({named}) if named else _EMPTY
+    return InsnEffects(uses, frozenset({_g(i.rt)}), system=named is None)
+
+
+@_ppc(pdec.exec_mtspr)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    named = _NAMED_SPRS.get(i.imm)
+    defs = frozenset({named}) if named else _EMPTY
+    return InsnEffects(frozenset({_g(i.rt)}), defs, system=named is None)
+
+
+@_ppc(pdec.exec_mfmsr)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(_EMPTY, frozenset({_g(i.rt)}), system=True)
+
+
+@_ppc(pdec.exec_mtmsr)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset({_g(i.rt)}), _EMPTY, may_fault=True,
+                       system=True)
+
+
+@_ppc(pdec.exec_mfcr)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(frozenset(PPC_CRS), frozenset({_g(i.rt)}))
+
+
+@_ppc(pdec.exec_rfi)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects(kind=KIND_RET, may_fault=True, system=True)
+
+
+@_ppc(pdec.exec_nopish)
+def _(i: PPCInstr, addr: int) -> InsnEffects:
+    return InsnEffects()
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def insn_effects(insn: Union[Instr, PPCInstr], addr: int) -> InsnEffects:
+    """Effect summary for a decoded instruction at ``addr``.
+
+    Raises :class:`UnknownInstructionError` when the instruction's
+    execute function has no table entry — that means the decoder
+    learned a new instruction and this model must be extended.
+    """
+    if isinstance(insn, Instr):
+        handler = _X86_EFFECTS.get(insn.execute)
+    else:
+        handler = _PPC_EFFECTS.get(insn.execute)
+    if handler is None:
+        raise UnknownInstructionError(
+            f"no effect model for {insn.mnemonic!r} "
+            f"({getattr(insn.execute, '__name__', insn.execute)})")
+    return handler(insn, addr)
+
+
+def resources_for(arch: str) -> Tuple[str, ...]:
+    """The liveness resource vocabulary of an architecture."""
+    if arch == "x86":
+        return X86_RESOURCES
+    if arch == "ppc":
+        return PPC_RESOURCES
+    raise ValueError(f"unknown arch {arch!r}")

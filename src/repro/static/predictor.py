@@ -1,0 +1,166 @@
+"""Fold reachability + liveness + corruption class into predictions.
+
+Decision procedure for one (instruction, bit), in order:
+
+1. decode-identical flip → ``NOT_MANIFESTED`` (class ``NO_CHANGE``);
+2. instruction statically unreachable → ``NOT_ACTIVATED``;
+3. flipped decode is guaranteed-illegal or (x86) changes the
+   instruction length, desynchronizing the following stream →
+   ``MANIFESTED``;
+4. otherwise the flip substitutes the operation or an operand; the
+   effect model decides:
+
+   * supervisor state, memory writes, or traps appear/disappear/move
+     → ``MANIFESTED`` (wild stores and bad-address loads are the
+     paper's dominant crash causes);
+   * control flow changes shape, target, or condition inputs →
+     ``MANIFESTED``;
+   * a memory *read* keeps its operation but its address registers
+     change → ``MANIFESTED`` (bad paging / bad area);
+   * the stack/frame pointer becomes a destination → ``MANIFESTED``
+     (every later frame access goes wild);
+   * otherwise only register dataflow changed → ``NOT_MANIFESTED``:
+     if every register that could now hold a wrong value (old defs ∪
+     new defs) is dead, this is a *provable* ``DEAD_WRITE``;
+     otherwise the corruption reaches live data but campaigns show
+     such value substitutions are predominantly masked (overwritten,
+     compared equal, or never part of the workload's result) — the
+     paper's own explanation for its large non-manifestation counts.
+
+That last rule is the calibrated one: structural damage (illegal
+decode, stream desync, wild memory, control flow, supervisor state)
+predicts a crash; plain wrong-value-in-register predicts masking.
+Validation against dynamic code campaigns
+(``analysis/validate_static.py``) measures exactly how often each
+side of that bet loses.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.kcc.linker import KernelImage
+from repro.kernel.build import build_kernel
+from repro.static.cfg import KernelCFG, build_cfg
+from repro.static.corruption import CorruptionClass, classify_flip
+from repro.static.effects import InsnEffects, insn_effects
+from repro.static.liveness import LivenessResult, compute_liveness
+from repro.static.report import (
+    BitPrediction, PredictedOutcome, StaticSensitivityReport,
+)
+
+#: stack/frame registers: corrupting them derails every later access
+_PIVOT_REGS = {"x86": frozenset({"esp", "ebp"}),
+               "ppc": frozenset({"r1"})}
+
+
+def _substitution_manifests(arch: str, orig: InsnEffects,
+                            flipped: InsnEffects) -> bool:
+    """Decide an opcode/operand substitution at a reachable insn:
+    does the corruption do structural damage (memory, control flow,
+    supervisor state, new fault sources), or does it merely put a
+    wrong value in a register?"""
+    # supervisor state involved on either side
+    if orig.system or flipped.system:
+        return True
+    # a store appears, disappears, or may move
+    if orig.writes_mem or flipped.writes_mem:
+        return True
+    # control flow changes shape or destination
+    if orig.kind != flipped.kind or orig.target != flipped.target:
+        return True
+    if orig.is_terminator and orig.uses != flipped.uses:
+        return True                # condition inputs changed
+    # a trap/fault source appears where none was
+    if flipped.may_fault and not orig.may_fault:
+        return True
+    # a load's address registers changed (same operation class)
+    if flipped.reads_mem and (not orig.reads_mem
+                              or flipped.uses != orig.uses):
+        return True
+    # the stack/frame pointer becomes a destination
+    changed = orig.defs | flipped.defs
+    if changed & _PIVOT_REGS[arch]:
+        return True
+    # pure register dataflow: predominantly masked dynamically
+    return False
+
+
+def analyze_image(arch: str, image: KernelImage,
+                  cfg: Optional[KernelCFG] = None,
+                  liveness: Optional[LivenessResult] = None
+                  ) -> StaticSensitivityReport:
+    """Predict the outcome of every (addr, bit) in a kernel image."""
+    if cfg is None:
+        cfg = build_cfg(arch, image)
+    if liveness is None:
+        liveness = compute_liveness(cfg)
+
+    predictions: Dict[Tuple[int, int], BitPrediction] = {}
+    insn_count = 0
+    for fcfg in cfg.functions.values():
+        for start, block in fcfg.blocks.items():
+            reachable = start in fcfg.reachable
+            for node in block.insns:
+                insn_count += 1
+                live_out = liveness.live_out.get(node.addr, frozenset())
+                for bit in range(node.length * 8):
+                    predictions[(node.addr, bit)] = _predict_bit(
+                        arch, image, node.addr, bit, node.effects,
+                        reachable, live_out)
+
+    return StaticSensitivityReport(
+        arch=arch,
+        text_bytes=len(image.text_bytes),
+        insn_count=insn_count,
+        function_count=len(cfg.functions),
+        block_count=cfg.total_blocks,
+        unreachable_block_count=cfg.total_unreachable_blocks,
+        predictions=predictions,
+    )
+
+
+def _predict_bit(arch: str, image: KernelImage, addr: int, bit: int,
+                 orig_effects: InsnEffects, reachable: bool,
+                 live_out: FrozenSet[str]) -> BitPrediction:
+    corruption, flipped = classify_flip(arch, image, addr, bit)
+    if corruption is CorruptionClass.NO_CHANGE:
+        outcome = (PredictedOutcome.NOT_MANIFESTED if reachable
+                   else PredictedOutcome.NOT_ACTIVATED)
+        return BitPrediction(addr, bit, corruption, outcome)
+    if not reachable:
+        return BitPrediction(addr, bit, corruption,
+                             PredictedOutcome.NOT_ACTIVATED)
+    if corruption in (CorruptionClass.ILLEGAL,
+                      CorruptionClass.LENGTH_CHANGE):
+        return BitPrediction(addr, bit, corruption,
+                             PredictedOutcome.MANIFESTED)
+    flipped_effects = insn_effects(flipped, addr)
+    if _substitution_manifests(arch, orig_effects, flipped_effects):
+        return BitPrediction(addr, bit, corruption,
+                             PredictedOutcome.MANIFESTED)
+    # benign register substitution: promote to DEAD_WRITE only when
+    # liveness *proves* nothing reads the changed registers
+    changed = orig_effects.defs | flipped_effects.defs
+    if not (changed & live_out):
+        corruption = CorruptionClass.DEAD_WRITE
+    return BitPrediction(addr, bit, corruption,
+                         PredictedOutcome.NOT_MANIFESTED)
+
+
+def analyze_kernel(arch: str) -> StaticSensitivityReport:
+    """Build (or fetch the cached) kernel image and analyze it."""
+    image = build_kernel(arch)
+    return analyze_image(arch, image)
+
+
+@lru_cache(maxsize=None)
+def dead_code_bits(arch: str) -> FrozenSet[Tuple[int, int]]:
+    """The provably-prunable (addr, bit) pairs of an arch's kernel.
+
+    Cached per process: the campaign engine calls this once per
+    ``--prune-dead`` campaign (including once per worker process),
+    and the set is a pure function of the deterministic kernel build.
+    """
+    return analyze_kernel(arch).dead_bits

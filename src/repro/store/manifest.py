@@ -27,7 +27,8 @@ from repro.store.codec import canonical_json
 
 #: bump when the journal record layout or the identity derivation
 #: changes; part of ``code_version``, so old stores are never misread
-STORE_FORMAT = 1
+#: (format 2: manifests record the target prune policy)
+STORE_FORMAT = 2
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
@@ -55,6 +56,9 @@ class CampaignManifest:
     dump_loss_probability: float
     profile_coverage: float
     code_version: str
+    #: target prune policy ("none" | "dead"); part of the identity —
+    #: a pruned campaign draws a different target stream
+    prune: str = "none"
 
     @classmethod
     def from_config(cls, config) -> "CampaignManifest":
@@ -64,7 +68,8 @@ class CampaignManifest:
             count=config.count, ops=config.ops, seed=config.seed,
             dump_loss_probability=config.dump_loss_probability,
             profile_coverage=config.profile_coverage,
-            code_version=code_version())
+            code_version=code_version(),
+            prune=getattr(config, "prune", "none"))
 
     # -- identity ----------------------------------------------------------
 
@@ -114,6 +119,11 @@ class CampaignManifest:
             raise ManifestError(f"unreadable manifest at {path}: {exc}")
         stored_hash = payload.pop("manifest_hash", None)
         payload.pop("campaign_id", None)
+        if "prune" not in payload:
+            raise ManifestError(
+                f"legacy manifest at {path}: written before store "
+                f"format 2 (no prune policy recorded); re-run the "
+                f"campaign into a fresh store")
         try:
             manifest = cls(**payload)
         except TypeError as exc:

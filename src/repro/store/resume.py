@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.injection.outcomes import InjectionResult
 from repro.store.store import CampaignStore
 
 

@@ -13,7 +13,7 @@ the clean run up to the moment the error is activated.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.kernel.abi import Syscall

@@ -9,8 +9,8 @@ cross-function calls become relocations resolved by the linker.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.isa.bits import to_unsigned
 from repro.x86.registers import SEG_DS, SEG_FS, SEG_GS

@@ -32,10 +32,7 @@ from repro.x86 import decoder
 from repro.x86.exceptions import X86Fault, X86Vector
 from repro.x86.insn import Instr
 from repro.x86.registers import (
-    CR0_PE, CR0_PG, CR0_WP,
-    FLAG_CF, FLAG_IF, FLAG_OF, FLAG_SF, FLAG_ZF,
-    GPR_NAMES, SEG_CS, SEG_DS, SEG_ES, SEG_FS, SEG_GS, SEG_SS,
-    VALID_SELECTORS,
+    CR0_PE, CR0_PG, CR0_WP, FLAG_CF, FLAG_IF, FLAG_OF, FLAG_SF, FLAG_ZF, GPR_NAMES, SEG_CS, SEG_DS, SEG_FS, SEG_GS, SEG_SS, VALID_SELECTORS,
 )
 
 _ARITH_FLAGS = FLAG_CF | FLAG_ZF | FLAG_SF | FLAG_OF | 0x14  # + PF, AF

@@ -19,10 +19,10 @@ versus 41% on the G4).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from repro.isa.bits import MASK32, mask_for_width, sign_extend, to_signed
-from repro.x86.exceptions import X86Fault, X86Vector
+from repro.x86.exceptions import X86Vector
 from repro.x86.insn import Instr
 from repro.x86.registers import (
     FLAG_CF, FLAG_NT, FLAG_OF, FLAG_SF, FLAG_ZF,

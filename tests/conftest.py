@@ -42,6 +42,28 @@ def ppc_image():
     return build_kernel("ppc")
 
 
+def _static_triple(arch, image):
+    from repro.static.cfg import build_cfg
+    from repro.static.liveness import compute_liveness
+    from repro.static.predictor import analyze_image
+    cfg = build_cfg(arch, image)
+    liveness = compute_liveness(cfg)
+    report = analyze_image(arch, image, cfg=cfg, liveness=liveness)
+    return cfg, liveness, report
+
+
+@pytest.fixture(scope="session")
+def x86_static(x86_image):
+    """(KernelCFG, LivenessResult, StaticSensitivityReport) for x86."""
+    return _static_triple("x86", x86_image)
+
+
+@pytest.fixture(scope="session")
+def ppc_static(ppc_image):
+    """(KernelCFG, LivenessResult, StaticSensitivityReport) for ppc."""
+    return _static_triple("ppc", ppc_image)
+
+
 @pytest.fixture(scope="session")
 def x86_context() -> CampaignContext:
     return CampaignContext.get("x86", seed=0, ops=36)

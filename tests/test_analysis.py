@@ -11,8 +11,7 @@ from repro.analysis.figures import (
     render_distribution,
 )
 from repro.analysis.latency import (
-    BUCKET_LABELS, bucket_of, cumulative_percent_below,
-    latency_histogram, latency_percentages,
+    bucket_of, cumulative_percent_below, latency_histogram, latency_percentages,
 )
 from repro.analysis.tables import build_row, build_table, render_table
 from repro.injection.outcomes import (

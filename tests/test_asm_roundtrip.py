@@ -1,6 +1,5 @@
 """Assembler <-> decoder round-trip tests for both architectures."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.ppc import decoder as ppc_decoder

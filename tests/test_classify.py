@@ -1,6 +1,5 @@
 """Crash-cause classification tests (Tables 3 and 4)."""
 
-import pytest
 
 from repro.analysis.classify import classify_crash
 from repro.injection.outcomes import CrashCauseG4, CrashCauseP4

@@ -58,6 +58,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["campaign", "--kind", "data", "--resume"])
 
+    def test_prune_dead_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["campaign", "--kind", "code", "--prune-dead"])
+        assert args.prune_dead
+        assert not build_parser().parse_args(
+            ["campaign", "--kind", "code"]).prune_dead
+        assert build_parser().parse_args(
+            ["study", "--prune-dead"]).prune_dead
+
+    def test_prune_dead_requires_code_kind(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--kind", "stack", "--prune-dead"])
+
+    def test_static_subcommand_parsed(self):
+        args = build_parser().parse_args(["static"])
+        assert args.arch == "both" and args.validate is None
+        args = build_parser().parse_args(
+            ["static", "--arch", "ppc", "--validate", "25",
+             "--workers", "2"])
+        assert args.arch == "ppc"
+        assert args.validate == 25
+        assert args.workers == 2
+
     def test_store_subcommand_parsed(self):
         args = build_parser().parse_args(["store", "ls", "/tmp/s"])
         assert args.dir == "/tmp/s"

@@ -1,14 +1,12 @@
 """Injection framework tests: targets, mechanics, campaigns."""
 
-import pytest
 
 from repro.injection.campaign import Campaign, CampaignConfig
 from repro.injection.injector import InjectionRun, RunSpec
 from repro.injection.outcomes import CampaignKind, Outcome
 from repro.injection.targets import (
-    CodeTarget, DataTarget, RegisterTarget, StackTarget, TargetGenerator,
+    CodeTarget, DataTarget, RegisterTarget, TargetGenerator,
 )
-from repro.machine.machine import KSTACK_SIZE
 
 
 class TestTargetGenerator:

@@ -7,7 +7,6 @@ hypothesis-driven generator also produces random arithmetic functions
 and checks all three executors agree.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa.memory import PhysicalMemory, Region

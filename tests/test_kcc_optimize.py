@@ -68,7 +68,6 @@ class TestDeadCode:
             }
         """))
         optimize_program(program)
-        from repro.kcc import ast
         kinds = [type(s).__name__ for s in program.functions[0].body]
         assert "While" not in kinds
 

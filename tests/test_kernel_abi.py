@@ -1,7 +1,6 @@
 """ABI coherence: the Python mirror must match the DSL constants."""
 
 from repro.kernel import abi
-from repro.kernel.build import kernel_program
 
 
 class TestSyscallNumbers:

@@ -4,9 +4,7 @@ import pytest
 
 from repro.kernel.abi import Syscall
 from repro.machine.events import HangDetected, KernelCrash
-from repro.machine.machine import (
-    KSTACK_SIZE, Machine, MachineConfig, SPRG2_VALUE,
-)
+from repro.machine.machine import Machine, MachineConfig, SPRG2_VALUE
 from repro.ppc.exceptions import PPCVector
 from repro.ppc.registers import SPR_SPRG2
 from repro.x86.exceptions import X86Vector

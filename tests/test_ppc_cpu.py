@@ -6,9 +6,7 @@ from repro.isa.memory import Region
 from repro.ppc.assembler import PPCAssembler
 from repro.ppc.cpu import PPCCPU
 from repro.ppc.exceptions import PPCFault, PPCVector, ProgramReason
-from repro.ppc.registers import (
-    HID0_BTIC, MSR_DR, MSR_IR, SPR_HID0, SPR_SDR1, SPR_SPRG2,
-)
+from repro.ppc.registers import MSR_DR, MSR_IR, SPR_SDR1, SPR_SPRG2
 
 TEXT = 0xC0100000
 DATA = 0xC0300000

@@ -2,16 +2,13 @@
 
 import pytest
 
-from repro.injection.outcomes import CampaignKind, Outcome
 from repro.kernel.abi import Syscall
 from repro.machine.events import KernelCrash
 from repro.machine.register_semantics import (
     apply_ppc_spr_effect, apply_x86_register_flip,
 )
 from repro.ppc.exceptions import PPCVector
-from repro.ppc.registers import (
-    HID0_BTIC, SPR_HID0, SPR_SDR1, SPR_SPRG2,
-)
+from repro.ppc.registers import HID0_BTIC, SPR_HID0, SPR_SDR1
 from repro.x86.exceptions import X86Vector
 
 

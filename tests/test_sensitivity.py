@@ -1,8 +1,7 @@
 """Per-subsystem sensitivity analysis tests."""
 
 from repro.analysis.sensitivity import (
-    SubsystemRow, code_target_sensitivity, crash_site_breakdown,
-    render_sensitivity,
+    code_target_sensitivity, crash_site_breakdown, render_sensitivity,
 )
 from repro.injection.outcomes import CampaignKind, InjectionResult, Outcome
 from repro.injection.targets import CodeTarget

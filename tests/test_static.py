@@ -1,0 +1,243 @@
+"""Static analyzer: CFG, effects, liveness, corruption, predictions.
+
+Structural invariants run over *both* real kernel images (the session
+fixtures build each CFG/liveness/report once); targeted cases pin the
+per-ISA details the predictor leans on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.static.cfg import decode_at
+from repro.static.corruption import (
+    CorruptionClass, classify_flip, flip_decode,
+)
+from repro.static.effects import (
+    KIND_BRANCH, KIND_CALL, KIND_FALL, KIND_JUMP, KIND_RET,
+    insn_effects, resources_for,
+)
+from repro.static.report import PredictedOutcome
+
+STATICS = ["x86_static", "ppc_static"]
+
+
+@pytest.fixture(params=STATICS)
+def triple(request):
+    return request.param.split("_")[0], request.getfixturevalue(
+        request.param)
+
+
+class TestCFG:
+    def test_every_function_has_a_cfg(self, triple):
+        _arch, (cfg, _live, _report) = triple
+        assert set(cfg.functions) == set(cfg.image.functions)
+
+    def test_blocks_partition_instructions(self, triple):
+        """Every linked instruction lands in exactly one block."""
+        _arch, (cfg, _live, _report) = triple
+        for name, fcfg in cfg.functions.items():
+            linked = list(cfg.image.functions[name].insn_addrs)
+            in_blocks = [node.addr
+                         for start in sorted(fcfg.blocks)
+                         for node in fcfg.blocks[start].insns]
+            assert sorted(in_blocks) == sorted(linked)
+            assert len(set(in_blocks)) == len(in_blocks)
+
+    def test_successors_are_block_starts(self, triple):
+        _arch, (cfg, _live, _report) = triple
+        for fcfg in cfg.functions.values():
+            for block in fcfg.blocks.values():
+                for succ in block.succs:
+                    assert succ in fcfg.blocks
+
+    def test_entries_reachable(self, triple):
+        _arch, (cfg, _live, _report) = triple
+        for fcfg in cfg.functions.values():
+            assert fcfg.entry in fcfg.reachable
+
+    def test_only_terminators_end_blocks(self, triple):
+        """Non-final instructions never terminate; a block ends at a
+        terminator or immediately before another leader."""
+        _arch, (cfg, _live, _report) = triple
+        for fcfg in cfg.functions.values():
+            for block in fcfg.blocks.values():
+                for node in block.insns[:-1]:
+                    assert not node.effects.is_terminator
+
+    def test_call_targets_are_function_entries(self, triple):
+        _arch, (cfg, _live, _report) = triple
+        entries = {info.addr for info in cfg.image.functions.values()}
+        for fcfg in cfg.functions.values():
+            assert fcfg.call_targets <= entries
+
+    def test_insn_map_covers_text(self, triple):
+        _arch, (cfg, _live, _report) = triple
+        total = sum(len(info.insn_addrs)
+                    for info in cfg.image.functions.values())
+        assert len(cfg.insn_map) == total
+
+    def test_x86_decoded_lengths_match_linker(self, x86_static):
+        cfg, _live, _report = x86_static
+        for fcfg in cfg.functions.values():
+            for block in fcfg.blocks.values():
+                for node in block.insns:
+                    assert node.insn.length == node.length
+
+
+class TestEffects:
+    def test_every_kernel_insn_has_effects(self, triple):
+        """The effect tables cover both images completely, and defs/
+        uses stay inside the declared resource set."""
+        arch, (cfg, _live, _report) = triple
+        resources = set(resources_for(arch))
+        for fcfg in cfg.functions.values():
+            for block in fcfg.blocks.values():
+                for node in block.insns:
+                    eff = node.effects    # built without raising
+                    assert eff.defs <= resources
+                    assert eff.uses <= resources
+
+    def test_x86_ret_and_call(self, x86_image):
+        # c3 = ret; e8 rel32 = call
+        ret = decode_at("x86", x86_image,
+                        next(a for a, i in _decodes("x86", x86_image)
+                             if i.mnemonic == "ret"))
+        assert insn_effects(ret, 0).kind == KIND_RET
+        addr, call = next((a, i) for a, i in _decodes("x86", x86_image)
+                          if i.mnemonic == "call")
+        eff = insn_effects(call, addr)
+        assert eff.kind == KIND_CALL
+        assert eff.target is not None
+        assert "esp" in eff.defs
+
+    def test_ppc_branch_conditionality(self, ppc_image):
+        saw_branch = False
+        for addr, insn in _decodes("ppc", ppc_image):
+            eff = insn_effects(insn, addr)
+            if insn.mnemonic == "bc":
+                bo = insn.rt
+                if bo & 0x4 and bo & 0x10:
+                    assert eff.kind == KIND_JUMP
+                else:
+                    assert eff.kind == KIND_BRANCH
+                    # conditional on a CR field or the CTR decrement
+                    assert eff.uses, insn
+                    saw_branch = True
+        assert saw_branch
+
+    def test_fall_through_is_default(self, triple):
+        arch, (cfg, _live, _report) = triple
+        kinds = set()
+        for fcfg in cfg.functions.values():
+            for block in fcfg.blocks.values():
+                kinds.update(n.effects.kind for n in block.insns)
+        assert KIND_FALL in kinds
+
+
+class TestLiveness:
+    def test_live_out_total(self, triple):
+        """Every instruction gets a live-out set over the arch's
+        resource alphabet."""
+        arch, (cfg, live, _report) = triple
+        resources = set(resources_for(arch))
+        assert set(live.live_out) == set(cfg.insn_map)
+        for out in live.live_out.values():
+            assert out <= resources
+
+    def test_entry_live_per_function(self, triple):
+        _arch, (cfg, live, _report) = triple
+        assert set(live.entry_live) == set(cfg.functions)
+
+    def test_stack_pointer_live_somewhere(self, triple):
+        arch, (_cfg, live, _report) = triple
+        sp = "esp" if arch == "x86" else "r1"
+        assert any(sp in out for out in live.live_out.values())
+
+    def test_dead_defs_subset(self, triple):
+        _arch, (cfg, live, _report) = triple
+        for fcfg in cfg.functions.values():
+            for block in fcfg.blocks.values():
+                for node in block.insns:
+                    dead = live.dead_defs(node.addr, node.effects)
+                    assert dead <= node.effects.defs
+
+
+class TestCorruption:
+    def test_classes_match_decode_comparison(self, triple):
+        """Per-class invariants on a deterministic sample of flips."""
+        arch, (cfg, _live, _report) = triple
+        image = cfg.image
+        sample = sorted(cfg.insn_map)[::17]
+        for addr in sample:
+            original = decode_at(arch, image, addr)
+            width = original.length * 8 if arch == "x86" else 32
+            for bit in (b for b in (0, 5, 13) if b < width):
+                cls, flipped = classify_flip(arch, image, addr, bit)
+                if cls is CorruptionClass.NO_CHANGE:
+                    assert flipped.mnemonic == original.mnemonic
+                elif cls is CorruptionClass.LENGTH_CHANGE:
+                    assert arch == "x86"
+                    assert flipped.length != original.length
+                elif cls is CorruptionClass.OPERAND_SUB:
+                    assert flipped.mnemonic == original.mnemonic
+                assert cls is not CorruptionClass.DEAD_WRITE
+
+    def test_flip_decode_changes_exactly_one_bit(self, triple):
+        arch, (cfg, _live, _report) = triple
+        image = cfg.image
+        addr = sorted(cfg.insn_map)[3]
+        flipped = flip_decode(arch, image, addr, 2)
+        original = decode_at(arch, image, addr)
+        if arch == "ppc":
+            assert bin(flipped.word ^ original.word).count("1") == 1
+
+    def test_ppc_no_length_changes(self, ppc_static):
+        _cfg, _live, report = ppc_static
+        assert report.class_counts["length-change"] == 0
+
+
+class TestPredictions:
+    def test_report_covers_every_text_bit(self, triple):
+        _arch, (cfg, _live, report) = triple
+        expected = 0
+        for fcfg in cfg.functions.values():
+            for block in fcfg.blocks.values():
+                expected += sum(8 * n.length for n in block.insns)
+        assert report.bit_count == expected
+
+    def test_x86_predicts_more_manifestation_than_ppc(
+            self, x86_static, ppc_static):
+        """The paper's headline shape: the dense variable-length ISA
+        is the more error-sensitive one."""
+        x86_rate = x86_static[2].predicted_manifestation_rate
+        ppc_rate = ppc_static[2].predicted_manifestation_rate
+        assert x86_rate > ppc_rate
+
+    def test_length_changes_always_manifest(self, x86_static):
+        _cfg, _live, report = x86_static
+        for pred in report.predictions.values():
+            if pred.corruption is CorruptionClass.LENGTH_CHANGE:
+                assert pred.outcome is PredictedOutcome.MANIFESTED
+
+    def test_prunable_bits_are_provable_only(self, triple):
+        """Prunable = decode-identical or unreachable; never the
+        heuristic dead-write promotion."""
+        _arch, (_cfg, _live, report) = triple
+        for key in report.dead_bits:
+            pred = report.lookup(*key)
+            assert (pred.corruption is CorruptionClass.NO_CHANGE
+                    or pred.outcome is PredictedOutcome.NOT_ACTIVATED)
+            assert pred.corruption is not CorruptionClass.DEAD_WRITE
+
+    def test_render_mentions_headline_numbers(self, triple):
+        arch, (_cfg, _live, report) = triple
+        text = report.render()
+        assert f"static sensitivity: {arch}" in text
+        assert str(report.bit_count) in text
+
+
+def _decodes(arch, image):
+    for info in image.functions.values():
+        for addr in info.insn_addrs:
+            yield addr, decode_at(arch, image, addr)

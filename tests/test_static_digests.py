@@ -1,0 +1,36 @@
+"""Static analysis pinned against recorded digests.
+
+``tests/data/static_digests.json`` records, for each arch, the full
+histogram (text size, instruction/function/block counts, unreachable
+blocks, corruption-class counts, predicted-outcome counts) and its
+sha256 — the static counterpart of ``campaign_digests.json``.  Any
+decoder, CFG, liveness, or predictor change that moves a single bit's
+classification fails here and forces a deliberate re-pin.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+DIGEST_PATH = Path(__file__).parent / "data" / "static_digests.json"
+DIGESTS = json.loads(DIGEST_PATH.read_text())
+
+
+@pytest.mark.parametrize("fixture", ["x86_static", "ppc_static"])
+def test_matches_recorded_digest(fixture, request):
+    _cfg, _live, report = request.getfixturevalue(fixture)
+    recorded = DIGESTS[report.arch]
+    assert report.histogram() == recorded["histogram"]
+    assert report.digest() == recorded["sha256"]
+
+
+@pytest.mark.parametrize("fixture", ["x86_static", "ppc_static"])
+def test_no_unreachable_block_regression(fixture, request):
+    """kcc emits no dead blocks today; a CFG change that suddenly
+    reports unreachable code is a reachability bug, not dead code."""
+    _cfg, _live, report = request.getfixturevalue(fixture)
+    pinned = DIGESTS[report.arch]["histogram"]["unreachable_block_count"]
+    assert report.unreachable_block_count <= pinned

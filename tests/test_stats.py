@@ -4,8 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.analysis.stats import (
-    Proportion, activation_interval, manifestation_interval,
-    proportions_differ, two_proportion_z, wilson,
+    activation_interval, manifestation_interval, proportions_differ, two_proportion_z, wilson,
 )
 from repro.analysis.tables import CampaignRow
 from repro.injection.outcomes import CampaignKind

@@ -143,6 +143,26 @@ class TestManifest:
         with pytest.raises(ManifestError, match="hash mismatch"):
             CampaignManifest.load(tmp_path)
 
+    def test_prune_changes_identity(self):
+        base = CampaignConfig(arch="ppc", kind=CampaignKind.CODE,
+                              count=6, seed=0, ops=36)
+        pruned = CampaignConfig(arch="ppc", kind=CampaignKind.CODE,
+                                count=6, seed=0, ops=36, prune="dead")
+        assert CampaignManifest.from_config(base).campaign_id != \
+            CampaignManifest.from_config(pruned).campaign_id
+
+    def test_legacy_manifest_without_prune_rejected(self, tmp_path):
+        """Pre-format-2 manifests never recorded a prune policy;
+        loading one must fail loudly, not guess."""
+        manifest = CampaignManifest.from_config(_config())
+        manifest.save(tmp_path)
+        path = tmp_path / "manifest.json"
+        payload = json.loads(path.read_text())
+        del payload["prune"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestError, match="legacy manifest"):
+            CampaignManifest.load(tmp_path)
+
 
 class TestJournal:
     def _write(self, path, count: int) -> list:

@@ -2,13 +2,10 @@
 
 import pytest
 
-from repro.machine.machine import KSTACK_SIZE, Machine
+from repro.machine.machine import KSTACK_SIZE
 from repro.workload.driver import UnixBenchDriver, run_clean_workload
-from repro.workload.probe import probe_clean_run
 from repro.workload.profiler import profile_kernel
-from repro.workload.programs import (
-    FsTime, PipeThroughput, SyscallLoop, collect_fsv, default_mix,
-)
+from repro.workload.programs import collect_fsv, default_mix
 
 
 class TestCleanRuns:

@@ -7,8 +7,7 @@ from repro.x86.assembler import Mem, X86Assembler
 from repro.x86.cpu import X86CPU
 from repro.x86.exceptions import X86Fault, X86Vector
 from repro.x86.registers import (
-    CR0_PE, CR0_PG, FLAG_CF, FLAG_NT, FLAG_ZF,
-    EAX, EBP, EBX, ECX, EDI, EDX, ESI, ESP,
+    CR0_PG, FLAG_CF, FLAG_NT, FLAG_ZF, EAX, EBX, ECX, EDX, ESP,
 )
 
 TEXT = 0xC0100000

@@ -5,7 +5,6 @@ moves)."""
 import pytest
 
 from repro.isa.memory import Region
-from repro.x86 import decoder
 from repro.x86.cpu import X86CPU
 from repro.x86.exceptions import X86Fault, X86Vector
 from repro.x86.registers import FLAG_CF, FLAG_ZF

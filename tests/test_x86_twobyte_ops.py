@@ -1,6 +1,5 @@
 """Two-byte (0F xx) opcode semantics: setcc, cmovcc, bit ops, shld."""
 
-import pytest
 
 from repro.isa.memory import Region
 from repro.x86.cpu import X86CPU
