@@ -1,0 +1,168 @@
+"""Trace hook overhead: the disabled hot path must stay within 5 %.
+
+The flight recorder's cost model (``repro.trace.recorder``) promises
+that a machine with no recorder attached pays **one flag test per
+hot-path call** — nothing else.  This benchmark holds the promise to a
+number:
+
+* **disabled vs guard-free baseline** (enforced) — the guard-free
+  baseline is manufactured from the real CPU methods by stripping the
+  ``tracer`` guard lines from their source and re-compiling, so it is
+  always the current code minus exactly the hooks.  An end-to-end
+  campaign on the stock (disabled-tracer) CPUs must reach >= 95 % of
+  the baseline's injections/sec;
+* **armed ring / full modes** (informational) — what tracing costs
+  when you actually turn it on.
+
+Scale with ``REPRO_BENCH_SCALE`` like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import sys
+import textwrap
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.injection.campaign import (
+    Campaign, CampaignConfig, CampaignContext,
+)
+from repro.injection.injector import InjectionRun
+from repro.injection.outcomes import CampaignKind
+from repro.ppc.cpu import PPCCPU
+from repro.trace.recorder import TraceRecorder
+from repro.x86.cpu import X86CPU
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+COUNT = max(16, int(32 * _SCALE))
+ROUNDS = 3
+MAX_DISABLED_OVERHEAD = 0.05           # the <= 5 % bound
+
+#: per-arch campaign kinds chosen so a good share of experiments
+#: survive screening and actually run the CPU hot path
+_KINDS = {"x86": CampaignKind.STACK, "ppc": CampaignKind.CODE}
+
+#: the hooked hot-path methods per CPU class
+_HOT_METHODS = {
+    X86CPU: ("step", "load", "store"),
+    PPCCPU: ("step", "load", "store", "set_spr"),
+}
+
+
+def _guard_free(cls, name):
+    """Recompile ``cls.<name>`` with every ``tracer`` line removed.
+
+    Every hook site is a two-line ``if self.tracer is not None:`` +
+    one-line call, and both lines contain the string ``tracer``, so
+    line-stripping the source reproduces the pre-hook method exactly.
+    """
+    source = textwrap.dedent(inspect.getsource(cls.__dict__[name]))
+    kept = [line for line in source.splitlines()
+            if "tracer" not in line]
+    assert len(kept) < len(source.splitlines()), (
+        f"{cls.__name__}.{name} has no tracer guard to strip")
+    namespace: dict = {}
+    exec(compile("\n".join(kept),
+                 f"<guard-free {cls.__name__}.{name}>", "exec"),
+         vars(sys.modules[cls.__module__]), namespace)
+    return namespace[name]
+
+
+@contextmanager
+def _guard_free_cpus():
+    """Temporarily replace the hooked methods with guard-free twins."""
+    originals = {(cls, name): cls.__dict__[name]
+                 for cls, names in _HOT_METHODS.items()
+                 for name in names}
+    try:
+        for (cls, name) in originals:
+            setattr(cls, name, _guard_free(cls, name))
+        yield
+    finally:
+        for (cls, name), method in originals.items():
+            setattr(cls, name, method)
+
+
+def _campaign_time(arch: str, context) -> float:
+    config = CampaignConfig(arch=arch, kind=_KINDS[arch],
+                            count=COUNT, seed=0, ops=36)
+    start = time.perf_counter()
+    result = Campaign(config, context).run()
+    elapsed = time.perf_counter() - start
+    assert result.injected == COUNT
+    return elapsed
+
+
+@pytest.mark.parametrize("arch", ["x86", "ppc"])
+def test_bench_disabled_overhead(benchmark, arch):
+    context = CampaignContext.get(arch, seed=0, ops=36)
+    _campaign_time(arch, context)      # warm the context and caches
+    state = {"baseline": [], "disabled": []}
+
+    def run_once():
+        # alternate per round so drift hits both variants equally
+        for _ in range(ROUNDS):
+            with _guard_free_cpus():
+                state["baseline"].append(_campaign_time(arch, context))
+            state["disabled"].append(_campaign_time(arch, context))
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+    baseline = min(state["baseline"])
+    disabled = min(state["disabled"])
+    overhead = disabled / baseline - 1.0
+    print(f"\n[{arch}] {COUNT} injections: guard-free {baseline:.3f}s, "
+          f"disabled-tracer {disabled:.3f}s "
+          f"({overhead:+.1%} overhead, bound "
+          f"{MAX_DISABLED_OVERHEAD:.0%})")
+    assert overhead <= MAX_DISABLED_OVERHEAD, (
+        f"{arch}: disabled-tracer hot path costs {overhead:.1%} over "
+        f"the guard-free baseline (bound {MAX_DISABLED_OVERHEAD:.0%})")
+
+
+@pytest.mark.parametrize("arch", ["x86", "ppc"])
+def test_bench_armed_modes(benchmark, arch):
+    """What arming the recorder costs (informational, no bound)."""
+    context = CampaignContext.get(arch, seed=0, ops=36)
+    config = CampaignConfig(arch=arch, kind=_KINDS[arch],
+                            count=COUNT, seed=0, ops=36)
+    campaign = Campaign(config, context)
+    targets = campaign.generate_targets()
+    live = [index for index, target in enumerate(targets)
+            if not campaign._screen_not_activated(target)]
+    assert live, f"{arch}/{_KINDS[arch].value}: everything screened"
+
+    def run_mode(mode):
+        start = time.perf_counter()
+        emitted = 0
+        for index in live:
+            run = InjectionRun(campaign.spec_for(index, targets[index]))
+            if mode is not None:
+                recorder = TraceRecorder(mode=mode)
+                run.machine.attach_tracer(recorder)
+            run.execute()
+            if mode is not None:
+                run.machine.detach_tracer()
+                emitted += recorder.total_emitted
+        return time.perf_counter() - start, emitted
+
+    state = {}
+
+    def run_once():
+        state["off"], _ = run_mode(None)
+        state["ring"], state["ring_events"] = run_mode("ring")
+        state["full"], state["full_events"] = run_mode("full")
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert state["full_events"] > 0
+    print(f"\n[{arch}] {len(live)} live experiments: "
+          f"off {state['off']:.3f}s, "
+          f"ring {state['ring']:.3f}s "
+          f"({state['ring'] / state['off']:.1f}x, "
+          f"{state['ring_events']} events), "
+          f"full {state['full']:.3f}s "
+          f"({state['full'] / state['off']:.1f}x, "
+          f"{state['full_events']} events)")

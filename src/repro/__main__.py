@@ -15,6 +15,12 @@ Commands
     Regenerate the EXPERIMENTS.md-style paper-vs-measured report.
 ``store``
     Inspect a durable result store: ``ls``, ``verify``, ``export``.
+``replay``
+    Deterministically re-execute one journaled experiment with the
+    flight recorder armed, verify it against the journal, and
+    optionally dump the trace (``--trace``), diff against the clean
+    twin (``--diff``), or print the three-stage breakdown
+    (``--stages``).
 ``static``
     Run the static error-sensitivity analyzer (CFG + liveness +
     encoding-corruption prediction) over one or both kernel images;
@@ -241,6 +247,55 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.trace.dissect import (
+        dissect_traces, render_dissection,
+    )
+    from repro.trace.replay import ReplayDivergence, Replayer
+    try:
+        replayer = Replayer(args.store, args.campaign)
+        outcome = replayer.replay(args.index, mode="full")
+    except ReplayDivergence as exc:
+        print(f"DIVERGED: {exc}", file=sys.stderr)
+        return 1
+    result = outcome.replayed
+    print(f"{args.campaign}[{args.index}]: {result.outcome.value}"
+          + (f" ({result.cause.value})" if result.cause else "")
+          + (f", latency {result.latency} cycles"
+             if result.latency is not None else "")
+          + " — matches journal")
+    if args.trace:
+        count = outcome.recorder.write_jsonl(args.trace)
+        print(f"wrote {count} trace events to {args.trace}")
+    wants_dissection = args.diff or args.stages
+    if wants_dissection and outcome.spec is None:
+        print("experiment was screened (never ran a machine): "
+              "nothing to dissect")
+        return 0
+    if wants_dissection:
+        _twin, twin_recorder = replayer.clean_twin(args.index,
+                                                   mode="full")
+        dissection = dissect_traces(outcome.recorder.events,
+                                    twin_recorder.events,
+                                    result=result,
+                                    arch=replayer.config.arch)
+        if args.diff:
+            print()
+            print(render_dissection(dissection))
+        if args.stages:
+            print()
+            if dissection.stages is None:
+                print("no crash in the trace: no stages to report")
+            else:
+                b = dissection.stages
+                print(f"three-stage breakdown ({replayer.config.arch}):")
+                print(f"  stage 1 (to exception):      {b.stage1:>12}")
+                print(f"  stage 2 (hardware exception):{b.stage2:>12}")
+                print(f"  stage 3 (software handler):  {b.stage3:>12}")
+                print(f"  total (== latency):          {b.total:>12}")
+    return 0
+
+
 def cmd_store_ls(args: argparse.Namespace) -> int:
     from repro.store import CampaignStore
     store = CampaignStore(args.dir)
@@ -329,6 +384,24 @@ def build_parser() -> argparse.ArgumentParser:
     store_export.add_argument("campaign", metavar="ID")
     store_export.add_argument("output", metavar="OUT.jsonl")
     store_export.set_defaults(func=cmd_store_export)
+
+    replay = sub.add_parser(
+        "replay", help="re-execute one journaled experiment, traced")
+    replay.add_argument("store", metavar="STORE",
+                        help="store directory the campaign lives in")
+    replay.add_argument("campaign", metavar="CAMPAIGN",
+                        help="campaign id (see `store ls`)")
+    replay.add_argument("index", type=int, metavar="INDEX",
+                        help="global experiment index")
+    replay.add_argument("--trace", metavar="OUT.jsonl",
+                        help="dump the full trace as JSONL")
+    replay.add_argument("--diff", action="store_true",
+                        help="diff against the clean twin: infection "
+                        "set and propagation chain")
+    replay.add_argument("--stages", action="store_true",
+                        help="print the three-stage cycles-to-crash "
+                        "breakdown")
+    replay.set_defaults(func=cmd_replay)
 
     profile = sub.add_parser("profile", help="kernel usage profile")
     _add_common(profile)

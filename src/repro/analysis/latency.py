@@ -47,6 +47,23 @@ def latency_histogram(results: Iterable[InjectionResult]
     return histogram
 
 
+def instruction_latency_histogram(results: Iterable[InjectionResult]
+                                  ) -> Dict[str, int]:
+    """Histogram of instructions-to-crash (store format 3 results
+    carry ``activation_instret``/``crash_instret``; older records
+    yield ``latency_instructions is None`` and are skipped)."""
+    histogram = {label: 0 for label in BUCKET_LABELS}
+    for result in results:
+        latency = result.latency_instructions
+        if latency is None:
+            continue
+        if result.outcome not in (Outcome.CRASH_KNOWN,
+                                  Outcome.CRASH_UNKNOWN):
+            continue
+        histogram[bucket_of(latency)] += 1
+    return histogram
+
+
 def latency_percentages(results: Iterable[InjectionResult]
                         ) -> Dict[str, float]:
     histogram = latency_histogram(results)

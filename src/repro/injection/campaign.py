@@ -208,6 +208,24 @@ class Campaign:
 
     # -- the loop -----------------------------------------------------------------
 
+    def spec_for(self, index: int, target) -> RunSpec:
+        """Build the :class:`RunSpec` for one pre-generated target.
+
+        The per-experiment seed derives from the target's **global**
+        index (``seed + index * 7919``); this is the single place that
+        derivation lives, so the serial loop, any sharding, and trace
+        replay (:mod:`repro.trace.replay`) all agree on it.
+        """
+        config = self.config
+        return RunSpec(
+            base_machine=self.context.base_machine,
+            base_programs=self.context.base_programs,
+            kind=config.kind,
+            target=target,
+            ops=config.ops,
+            seed=config.seed + index * 7919,
+            dump_loss_probability=config.dump_loss_probability)
+
     def run_target(self, index: int, target) -> InjectionResult:
         """Run one pre-generated target.
 
@@ -221,15 +239,7 @@ class Campaign:
             return InjectionResult(
                 arch=config.arch, kind=config.kind, target=target,
                 outcome=Outcome.NOT_ACTIVATED, screened=True)
-        spec = RunSpec(
-            base_machine=self.context.base_machine,
-            base_programs=self.context.base_programs,
-            kind=config.kind,
-            target=target,
-            ops=config.ops,
-            seed=config.seed + index * 7919,
-            dump_loss_probability=config.dump_loss_probability)
-        run = InjectionRun(spec)
+        run = InjectionRun(self.spec_for(index, target))
         result = run.execute()
         self.context.collector.absorb(run.collector)
         return result

@@ -73,6 +73,7 @@ class InjectionRun:
             self.machine, seed=spec.seed, programs=programs)
         self.activated = False
         self.activation_cycles: Optional[int] = None
+        self.activation_instret: Optional[int] = None
 
     # -- installation ---------------------------------------------------------
 
@@ -94,10 +95,20 @@ class InjectionRun:
             byte_offset = target.bit // 8
             machine.flip_memory_bit(target.addr + byte_offset,
                                     target.bit % 8)
+            if machine.trace is not None:
+                machine.trace.on_inject(
+                    machine, f"code bit {target.bit} at "
+                    f"{target.addr:#010x} ({target.function})",
+                    addr=target.addr + byte_offset)
 
         def on_hit(hit) -> None:
             self.activated = True
             self.activation_cycles = machine.cpu.cycles
+            self.activation_instret = machine.cpu.instret
+            if machine.trace is not None:
+                machine.trace.on_activate(
+                    machine, f"breakpoint hit in {target.function}",
+                    addr=target.addr)
             if machine.arch == "x86":
                 # DR breakpoints report *before* execution: the flipped
                 # bytes are what executes right now
@@ -122,6 +133,11 @@ class InjectionRun:
                 return
             self.activated = True
             self.activation_cycles = machine.cpu.cycles
+            self.activation_instret = machine.cpu.instret
+            if machine.trace is not None:
+                machine.trace.on_activate(
+                    machine, f"{hit.kind.value} touched the error",
+                    addr=target.addr)
             if hit.kind.value == "write":
                 # the write clobbered the error: re-inject into the
                 # fresh value (paper Section 3.3)
@@ -130,6 +146,10 @@ class InjectionRun:
 
         def inject() -> None:
             machine.flip_memory_bit(target.addr, target.bit)
+            if machine.trace is not None:
+                machine.trace.on_inject(
+                    machine, f"memory bit {target.bit} at "
+                    f"{target.addr:#010x}", addr=target.addr)
             debug.set_watchpoint(target.addr, length=1)
             debug.on_watchpoint = on_access
 
@@ -143,6 +163,11 @@ class InjectionRun:
             # activation is not observable for system registers; the
             # paper measures latency from the injection instant
             self.activation_cycles = cpu.cycles
+            self.activation_instret = cpu.instret
+            if machine.trace is not None:
+                machine.trace.on_inject(
+                    machine, f"register bit {target.bit} in "
+                    f"{target.name}", reg=target.name)
             if machine.arch == "x86":
                 value = getattr(cpu, target.attr)
                 apply_x86_register_flip(
@@ -159,9 +184,10 @@ class InjectionRun:
 
     # -- execution -----------------------------------------------------------
 
-    def execute(self) -> InjectionResult:
+    def execute(self, install: bool = True) -> InjectionResult:
         spec = self.spec
-        self._install()
+        if install:
+            self._install()
         base = dict(arch=self.machine.arch, kind=spec.kind,
                     target=spec.target)
         try:
@@ -171,14 +197,18 @@ class InjectionRun:
             known = report.dump_delivered and not report.dump_failed
             cause = classify_crash(report)
             activation = self.activation_cycles
+            activation_instret = self.activation_instret
             if activation is None:
                 activation = report.cycles_at_crash
+                activation_instret = report.instret_at_crash
             return InjectionResult(
                 outcome=Outcome.CRASH_KNOWN if known
                 else Outcome.CRASH_UNKNOWN,
                 cause=cause if known else None,
                 activation_cycles=activation,
                 crash_cycles=report.cycles_at_crash,
+                activation_instret=activation_instret,
+                crash_instret=report.instret_at_crash,
                 detail=report.detail,
                 function=report.function,
                 subsystem=report.subsystem,
@@ -187,6 +217,7 @@ class InjectionRun:
             return InjectionResult(
                 outcome=Outcome.HANG,
                 activation_cycles=self.activation_cycles,
+                activation_instret=self.activation_instret,
                 detail=str(hang),
                 **base)
         if spec.kind is CampaignKind.REGISTER:
@@ -203,6 +234,7 @@ class InjectionRun:
         return InjectionResult(
             outcome=outcome,
             activation_cycles=self.activation_cycles,
+            activation_instret=self.activation_instret,
             detail="; ".join(
                 f"{event.program}#{event.op_index}: "
                 f"expected {event.expected}, got {event.actual}"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 
 class CampaignKind(enum.Enum):
@@ -61,6 +61,10 @@ class CrashCauseG4(enum.Enum):
     BAD_TRAP = "Bad Trap"
 
 
+#: crash cause taxonomy (arch-specific enums, paper Tables 3 and 4)
+CrashCause = Union[CrashCauseP4, CrashCauseG4]
+
+
 @dataclass
 class InjectionResult:
     """The record one injection experiment produces."""
@@ -70,11 +74,16 @@ class InjectionResult:
     target: object                       # the *Target dataclass
     outcome: Outcome
     #: crash cause (CrashCauseP4 or CrashCauseG4) for known crashes
-    cause: Optional[object] = None
+    cause: Optional[CrashCause] = None
     #: cycles at error activation (injection, for registers)
     activation_cycles: Optional[int] = None
     #: cycles at crash (None unless a crash was observed)
     crash_cycles: Optional[int] = None
+    #: retired instructions at error activation (same instant as
+    #: ``activation_cycles``), so latency is reportable in instructions
+    activation_instret: Optional[int] = None
+    #: retired instructions at crash (``CrashReport.instret_at_crash``)
+    crash_instret: Optional[int] = None
     detail: str = ""
     function: str = ""
     subsystem: str = ""
@@ -88,6 +97,13 @@ class InjectionResult:
         if self.crash_cycles is None or self.activation_cycles is None:
             return None
         return max(0, self.crash_cycles - self.activation_cycles)
+
+    @property
+    def latency_instructions(self) -> Optional[int]:
+        """Instructions-to-crash (the cycle latency's instret twin)."""
+        if self.crash_instret is None or self.activation_instret is None:
+            return None
+        return max(0, self.crash_instret - self.activation_instret)
 
 
 def summarize(results) -> dict:

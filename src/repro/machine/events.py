@@ -9,7 +9,13 @@ paper's Known Crash vs Hang/Unknown Crash distinction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple, Union
+
+from repro.ppc.exceptions import PPCVector, ProgramReason
+from repro.x86.exceptions import X86Vector
+
+#: the exception vector that killed the kernel, in the arch's own enum
+CrashVector = Union[X86Vector, PPCVector]
 
 
 @dataclass
@@ -17,7 +23,7 @@ class CrashReport:
     """Everything the embedded crash handler could gather."""
 
     arch: str
-    vector: object                     # X86Vector or PPCVector
+    vector: Optional[CrashVector]
     address: Optional[int]
     detail: str
     pc: int
@@ -28,7 +34,7 @@ class CrashReport:
     subsystem: str = ""
     #: frame-pointer chain walked by the crash handler (the paper logs
     #: frame pointers before and after injection)
-    frame_pointers: tuple = ()
+    frame_pointers: Tuple[int, ...] = ()
     #: the G4 exception-entry wrapper found the stack pointer outside
     #: the task's 8 KiB stack
     stack_out_of_range: bool = False
@@ -41,7 +47,7 @@ class CrashReport:
     #: did the crash dump packet reach the remote collector?
     dump_delivered: bool = False
     error_code: int = 0
-    program_reason: Optional[object] = None
+    program_reason: Optional[ProgramReason] = None
 
 
 class KernelCrash(Exception):

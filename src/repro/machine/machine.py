@@ -134,6 +134,10 @@ class Machine:
         # expected values of registers with deferred-check semantics
         self._expected: Dict[str, int] = {}
 
+        # flight recorder (repro.trace): None = tracing disabled; set
+        # through attach_tracer() only, mirrored into cpu.tracer
+        self.trace = None
+
         self._map_memory()
         if arch == "ppc":
             self.cpu.on_spr_write = self._on_spr_write
@@ -261,6 +265,7 @@ class Machine:
         clone._quantum_start_cycles = self._quantum_start_cycles
         clone._pending_action = None
         clone._expected = dict(self._expected)
+        clone.trace = None               # tracing never inherits
 
         # memory: eager baseline copies touched pages and replays the
         # region mapping (COW shares pages above and adopts the
@@ -337,6 +342,29 @@ class Machine:
         return self.cpu.mem.read(task.user_buf + offset, size)
 
     # ------------------------------------------------------------------
+    # tracing (repro.trace flight recorder)
+
+    def attach_tracer(self, recorder) -> None:
+        """Arm *recorder* on this machine and its CPU core.
+
+        The recorder observes fetches, loads/stores, register writes,
+        exception entry/exit, scheduler switches, and panics.  It only
+        ever reads simulated state, so an armed run produces the same
+        outcome, cycle counts, and RNG stream as an untraced one.
+        """
+        self.trace = recorder
+        self.cpu.tracer = recorder
+
+    def detach_tracer(self):
+        """Disarm tracing; returns the recorder (flushed)."""
+        recorder = self.trace
+        if recorder is not None:
+            recorder.flush(self.cpu)
+        self.trace = None
+        self.cpu.tracer = None
+        return recorder
+
+    # ------------------------------------------------------------------
     # injection support
 
     def schedule_action(self, at_instret: int, action: Callable) -> None:
@@ -404,6 +432,9 @@ class Machine:
                 cpu.step()
             except (X86Fault, PPCFault) as fault:
                 if self._fault_is_benign(fault):
+                    if self.trace is not None:
+                        self.trace.on_exc_enter(self, fault, fatal=False)
+                        self.trace.on_exc_exit(self, fault)
                     continue
                 self._crash(fault)
             steps += 1
@@ -501,6 +532,8 @@ class Machine:
             cpu.cycles += 80             # TSS-ish switch cost
         else:
             cpu.cycles += 60
+        if self.trace is not None:
+            self.trace.on_sched(self, self.current_pid, pid)
         self.current_pid = pid
         # keep the kernel's current task pointer coherent with the
         # machine-level switch (what switch_to() does in entry.S)
@@ -531,10 +564,14 @@ class Machine:
         if cpu.idtr_base != self._expected.get("idtr_base",
                                                cpu.idtr_base):
             # garbage IDT: vectoring is hopeless -> triple-fault-like
-            report = self._build_report(X86Fault(
-                X86Vector.DOUBLE_FAULT,
-                detail="IDT base corrupted: cannot vector"))
+            fault = X86Fault(X86Vector.DOUBLE_FAULT,
+                             detail="IDT base corrupted: cannot vector")
+            if self.trace is not None:
+                self.trace.on_exc_enter(self, fault, fatal=True)
+            report = self._build_report(fault)
             report.dump_failed = True
+            if self.trace is not None:
+                self.trace.on_crash(self, report)
             raise KernelCrash(report)
         if cpu.idtr_limit < 0x100:
             self._crash(X86Fault(
@@ -606,12 +643,20 @@ class Machine:
     def _crash(self, fault) -> None:
         """Route a fatal fault through the exception/crash machinery."""
         cpu = self.cpu
+        # stage-1 boundary: the kernel has just run into the bad
+        # instruction; the hardware takes over here (paper Figure 3)
+        if self.trace is not None:
+            self.trace.on_exc_enter(self, fault, fatal=True)
         # stage 2: hardware exception handling (>1000 cycles, some
         # address-dependent variance)
         cpu.cycles += self.config.stage2_cycles + \
             ((fault.address or cpu.cycles) & 0x1FF)
 
         report = self._build_report(fault)
+        # stage-2 boundary: vectoring done, the software handler —
+        # including the G4's exception-entry wrapper — starts now
+        if self.trace is not None:
+            self.trace.on_exc_stage3(self)
 
         task = self.tasks.get(self.current_pid)
         if self.arch == "ppc":
@@ -639,12 +684,16 @@ class Machine:
         if code:
             report.panic = True
             report.panic_code = code
+            if self.trace is not None:
+                self.trace.on_panic(self, code)
 
         # stage 3: the software exception handler (150-200 instructions)
         low, high = self.config.handler_instructions
         instructions = low + (report.pc % max(1, high - low))
         cpu.cycles += int(instructions * self.config.handler_cpi)
         report.cycles_at_crash = cpu.cycles
+        if self.trace is not None:
+            self.trace.on_crash(self, report)
 
         if not report.dump_failed:
             report.frame_pointers = self._walk_frames()

@@ -68,6 +68,13 @@ class PPCCPU:
         self.halted = False
         self.user_mode = False
 
+        # Flight-recorder hook (repro.trace.recorder.TraceRecorder).
+        # None when tracing is disabled: every emission site below
+        # guards on this one attribute, so the disabled hot path pays
+        # a single flag test and nothing else.  An armed recorder only
+        # reads state — simulated cycles/instret/RNG are untouched.
+        self.tracer = None
+
         # Semantic side effects of supervisor-state writes; installed by
         # the machine layer (see repro.machine.register_semantics).
         self.on_spr_write: Optional[Callable[[int, int, int], None]] = None
@@ -160,6 +167,8 @@ class PPCCPU:
             return
         old = self.spr.get(spr, 0)
         self.spr[spr] = value
+        if self.tracer is not None and old != value:
+            self.tracer.on_reg_write(self, f"spr{spr}", old, value)
         if self.on_spr_write is not None:
             self.on_spr_write(spr, old, value)
 
@@ -217,6 +226,8 @@ class PPCCPU:
         else:
             value = self.mem.read_u8(addr)
         self.cycles += 2
+        if self.tracer is not None:
+            self.tracer.on_load(self, addr, width, value)
         if self.debug._watchpoints:
             self.debug.check_access(addr, width, AccessKind.READ,
                                     self.cycles)
@@ -241,6 +252,8 @@ class PPCCPU:
         else:
             self.mem.write_u8(addr, value)
         self.cycles += 2
+        if self.tracer is not None:
+            self.tracer.on_store(self, addr, width, value)
         if self.debug._watchpoints:
             self.debug.check_access(addr, width, AccessKind.WRITE,
                                     self.cycles)
@@ -356,6 +369,8 @@ class PPCCPU:
             return
         pc = self.pc & 0xFFFFFFFC
         self.current_pc = pc
+        if self.tracer is not None:
+            self.tracer.on_fetch(self, pc)
         if self.debug._insn_bps:
             self.debug.check_fetch(pc, self.cycles)
         instr = self._icache.get(pc)

@@ -81,6 +81,8 @@ def result_to_dict(result: InjectionResult) -> dict:
                        else "ppc") if result.cause else None,
         "activation_cycles": result.activation_cycles,
         "crash_cycles": result.crash_cycles,
+        "activation_instret": result.activation_instret,
+        "crash_instret": result.crash_instret,
         "detail": result.detail,
         "function": result.function,
         "subsystem": result.subsystem,
@@ -114,6 +116,8 @@ def result_from_dict(payload: dict) -> InjectionResult:
         cause=cause,
         activation_cycles=payload.get("activation_cycles"),
         crash_cycles=payload.get("crash_cycles"),
+        activation_instret=payload.get("activation_instret"),
+        crash_instret=payload.get("crash_instret"),
         detail=payload.get("detail", ""),
         function=payload.get("function", ""),
         subsystem=payload.get("subsystem", ""),

@@ -27,8 +27,9 @@ from repro.store.codec import canonical_json
 
 #: bump when the journal record layout or the identity derivation
 #: changes; part of ``code_version``, so old stores are never misread
-#: (format 2: manifests record the target prune policy)
-STORE_FORMAT = 2
+#: (format 2: manifests record the target prune policy; format 3:
+#: journal records carry activation_instret/crash_instret)
+STORE_FORMAT = 3
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"

@@ -1,0 +1,33 @@
+"""Trace, replay, and dissection of injection experiments.
+
+* :mod:`repro.trace.events` — the event taxonomy and JSONL codec;
+* :mod:`repro.trace.recorder` — the flight recorder (ring or full
+  capture) the machine and CPUs emit into;
+* :mod:`repro.trace.replay` — deterministic re-execution of journaled
+  experiments, verified against the journal;
+* :mod:`repro.trace.dissect` — clean-twin diffing into infection
+  sets, propagation chains, and the paper's three crash stages.
+"""
+
+from repro.trace.events import (
+    ARCH_KINDS, EventKind, TraceEvent, read_jsonl, write_jsonl,
+)
+from repro.trace.recorder import DEFAULT_CAPACITY, MODES, TraceRecorder
+from repro.trace.replay import (
+    Replayer, ReplayDivergence, ReplayError, ReplayOutcome,
+    replay_experiment,
+)
+from repro.trace.dissect import (
+    Dissection, PropagationHop, StageBreakdown, dissect_experiment,
+    dissect_traces, render_dissection, render_stage_table,
+    stage_breakdown,
+)
+
+__all__ = [
+    "ARCH_KINDS", "EventKind", "TraceEvent", "read_jsonl",
+    "write_jsonl", "DEFAULT_CAPACITY", "MODES", "TraceRecorder",
+    "Replayer", "ReplayDivergence", "ReplayError", "ReplayOutcome",
+    "replay_experiment", "Dissection", "PropagationHop",
+    "StageBreakdown", "dissect_experiment", "dissect_traces",
+    "render_dissection", "render_stage_table", "stage_breakdown",
+]

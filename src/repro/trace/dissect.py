@@ -1,0 +1,272 @@
+"""Crash dissection: infection sets, propagation chains, crash stages.
+
+Three questions the paper answers about a crash, answered here from
+traces instead of hand analysis:
+
+* **what state got infected?** — diff the traced faulty run against
+  its clean twin (same ``RunSpec``, error never installed); every
+  architectural event present only in the faulty run is infected
+  state (the paper's Figure 7 propagation case study, mechanized);
+* **how did the error travel?** — order the infected locations by
+  first corruption: the per-hop propagation chain from injection to
+  the crashing access;
+* **where did the cycles go?** — split cycles-to-crash at the traced
+  exception boundaries into the paper's three stages (Figure 3):
+  stage 1 runs from activation to the faulty instruction raising its
+  exception, stage 2 is the hardware exception, stage 3 the software
+  handler walking to the panic.  The stages sum to the result's
+  ``latency`` by construction.
+
+Dissection needs **full** traces; a ring trace may have evicted the
+infection's early hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.injection.outcomes import InjectionResult
+from repro.trace.events import ARCH_KINDS, EventKind, TraceEvent
+
+#: stage labels, in paper order (Figure 3)
+STAGE_LABELS = ("to exception", "hardware exception",
+                "software handler")
+
+
+# -- three-stage decomposition ------------------------------------------------
+
+@dataclass
+class StageBreakdown:
+    """Cycles-to-crash split at the traced exception boundaries."""
+
+    arch: str
+    activation_cycles: int
+    #: cycles at the fatal exception raise (stage-1 end)
+    exception_cycles: int
+    #: cycles at software-handler entry (stage-2 end)
+    handler_cycles: int
+    #: cycles at the terminal crash (stage-3 end)
+    crash_cycles: int
+
+    @property
+    def stage1(self) -> int:
+        return self.exception_cycles - self.activation_cycles
+
+    @property
+    def stage2(self) -> int:
+        return self.handler_cycles - self.exception_cycles
+
+    @property
+    def stage3(self) -> int:
+        return self.crash_cycles - self.handler_cycles
+
+    @property
+    def total(self) -> int:
+        """Equals ``stage1 + stage2 + stage3`` *and* the result's
+        ``latency`` — both telescope to ``crash - activation``."""
+        return self.crash_cycles - self.activation_cycles
+
+    @property
+    def stages(self) -> Tuple[int, int, int]:
+        return (self.stage1, self.stage2, self.stage3)
+
+
+def stage_breakdown(events: Iterable[TraceEvent],
+                    result: Optional[InjectionResult] = None,
+                    arch: str = "") -> Optional[StageBreakdown]:
+    """Extract the three-stage split from a traced crashed run.
+
+    Returns ``None`` when the trace holds no crash.  The activation
+    instant prefers the *result's* ``activation_cycles`` (the journaled
+    truth, which includes the unobservable-activation fallback) over
+    the trace's ``ACTIVATE``/``INJECT`` marker.
+    """
+    enter = handler = crash = None
+    marker = None
+    for event in events:
+        if event.kind is EventKind.EXC_ENTER and \
+                event.detail.startswith("fatal:"):
+            enter = event
+        elif event.kind is EventKind.EXC_STAGE3:
+            handler = event
+        elif event.kind is EventKind.CRASH:
+            crash = event
+        elif event.kind in (EventKind.ACTIVATE, EventKind.INJECT) \
+                and marker is None:
+            marker = event
+    if crash is None or enter is None or handler is None:
+        return None
+    if result is not None and result.activation_cycles is not None:
+        activation = result.activation_cycles
+    elif marker is not None:
+        activation = marker.cycles
+    else:
+        activation = enter.cycles
+    if result is not None and not arch:
+        arch = result.arch
+    return StageBreakdown(
+        arch=arch,
+        activation_cycles=activation,
+        exception_cycles=enter.cycles,
+        handler_cycles=handler.cycles,
+        crash_cycles=crash.cycles)
+
+
+def render_stage_table(breakdowns: Iterable[StageBreakdown],
+                       arch: str) -> str:
+    """One arch's three-stage table (the paper's Figures 13-15 shape:
+    per-crash stage cycles plus the column means)."""
+    rows = [b for b in breakdowns if b.arch == arch or not b.arch]
+    lines = [f"--- cycles-to-crash by stage ({arch}) ---",
+             f"{'#':>3} {'to exception':>14} {'hw exception':>14} "
+             f"{'sw handler':>12} {'total':>12}"]
+    if not rows:
+        lines.append("(no crashes dissected)")
+        return "\n".join(lines)
+    for number, b in enumerate(rows):
+        lines.append(f"{number:>3} {b.stage1:>14} {b.stage2:>14} "
+                     f"{b.stage3:>12} {b.total:>12}")
+    count = len(rows)
+    means = (sum(b.stage1 for b in rows) / count,
+             sum(b.stage2 for b in rows) / count,
+             sum(b.stage3 for b in rows) / count,
+             sum(b.total for b in rows) / count)
+    lines.append(f"{'avg':>3} {means[0]:>14.1f} {means[1]:>14.1f} "
+                 f"{means[2]:>12.1f} {means[3]:>12.1f}")
+    return "\n".join(lines)
+
+
+# -- infection diffing --------------------------------------------------------
+
+@dataclass
+class PropagationHop:
+    """First corruption of one architectural location."""
+
+    order: int
+    kind: EventKind
+    location: str                      # "reg eax" | "mem 0x..." | "pc 0x..."
+    instret: int
+    cycles: int
+    event: TraceEvent
+
+
+@dataclass
+class Dissection:
+    """Everything the trace diff learned about one experiment."""
+
+    result: Optional[InjectionResult]
+    #: first faulty-run architectural event absent from the clean twin
+    first_divergence: Optional[TraceEvent]
+    #: infected locations in first-corruption order
+    hops: List[PropagationHop] = field(default_factory=list)
+    infected_registers: Set[str] = field(default_factory=set)
+    infected_addresses: Set[int] = field(default_factory=set)
+    #: faulty-run fetches the clean twin never made (control-flow
+    #: divergence size)
+    divergent_fetches: int = 0
+    stages: Optional[StageBreakdown] = None
+
+    @property
+    def infected(self) -> bool:
+        return self.first_divergence is not None
+
+
+def _location(event: TraceEvent) -> str:
+    if event.kind is EventKind.REG_WRITE:
+        return f"reg {event.reg}"
+    if event.kind in (EventKind.LOAD, EventKind.STORE):
+        return f"mem {event.addr:#010x}"
+    return f"pc {event.pc:#010x}"
+
+
+def dissect_traces(faulty: Iterable[TraceEvent],
+                   clean: Iterable[TraceEvent],
+                   result: Optional[InjectionResult] = None,
+                   arch: str = "") -> Dissection:
+    """Diff a traced faulty run against its clean twin.
+
+    Divergence is by value (``TraceEvent.arch_key``), not position: an
+    event of the faulty run counts as infected state iff the clean
+    twin never produced an identical architectural fact.
+    """
+    faulty = list(faulty)
+    clean_keys = {event.arch_key() for event in clean
+                  if event.kind in ARCH_KINDS}
+    divergent = [event for event in faulty
+                 if event.kind in ARCH_KINDS
+                 and event.arch_key() not in clean_keys]
+    hops: List[PropagationHop] = []
+    seen: Set[str] = set()
+    for event in divergent:
+        location = _location(event)
+        if location in seen:
+            continue
+        seen.add(location)
+        hops.append(PropagationHop(
+            order=len(hops), kind=event.kind, location=location,
+            instret=event.instret, cycles=event.cycles, event=event))
+    return Dissection(
+        result=result,
+        first_divergence=divergent[0] if divergent else None,
+        hops=hops,
+        infected_registers={event.reg for event in divergent
+                            if event.kind is EventKind.REG_WRITE
+                            and event.reg is not None},
+        infected_addresses={event.addr for event in divergent
+                            if event.kind in (EventKind.LOAD,
+                                              EventKind.STORE)
+                            and event.addr is not None},
+        divergent_fetches=sum(1 for event in divergent
+                              if event.kind is EventKind.FETCH),
+        stages=stage_breakdown(faulty, result=result, arch=arch))
+
+
+def dissect_experiment(replayer, index: int) -> Dissection:
+    """Replay experiment *index* (full trace), run its clean twin, and
+    diff them.  *replayer* is a :class:`repro.trace.replay.Replayer`."""
+    outcome = replayer.replay(index, mode="full")
+    if outcome.spec is None:           # screened: no machine ever ran
+        return Dissection(result=outcome.replayed,
+                          first_divergence=None)
+    _twin_result, twin_recorder = replayer.clean_twin(index,
+                                                      mode="full")
+    return dissect_traces(outcome.recorder.events,
+                          twin_recorder.events,
+                          result=outcome.replayed,
+                          arch=replayer.config.arch)
+
+
+def render_dissection(dissection: Dissection,
+                      max_hops: int = 20) -> str:
+    """The per-experiment propagation report."""
+    lines = ["--- error propagation chain ---"]
+    result = dissection.result
+    if result is not None:
+        lines.append(f"experiment: {result.arch}/{result.kind.value} "
+                     f"-> {result.outcome.value}"
+                     + (f" ({result.cause.value})" if result.cause
+                        else ""))
+    if not dissection.infected:
+        lines.append("no architectural divergence from the clean twin")
+        return "\n".join(lines)
+    lines.append(
+        f"infected: {len(dissection.infected_registers)} register(s), "
+        f"{len(dissection.infected_addresses)} address(es), "
+        f"{dissection.divergent_fetches} divergent fetch(es)")
+    lines.append(f"{'hop':>4} {'at instret':>12} {'at cycles':>12} "
+                 f"{'kind':<10} location")
+    for hop in dissection.hops[:max_hops]:
+        lines.append(f"{hop.order:>4} {hop.instret:>12} "
+                     f"{hop.cycles:>12} {hop.kind.value:<10} "
+                     f"{hop.location}")
+    hidden = len(dissection.hops) - max_hops
+    if hidden > 0:
+        lines.append(f"... {hidden} more hop(s)")
+    if dissection.stages is not None:
+        b = dissection.stages
+        lines.append("stages (cycles): "
+                     f"to-exception={b.stage1} "
+                     f"hw-exception={b.stage2} "
+                     f"sw-handler={b.stage3} total={b.total}")
+    return "\n".join(lines)

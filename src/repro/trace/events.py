@@ -1,0 +1,129 @@
+"""Trace event taxonomy: what the flight recorder can observe.
+
+One experiment's trace is a sequence of :class:`TraceEvent` records,
+each stamped with the simulated ``instret``/``cycles`` at emission.
+The taxonomy mirrors what the paper's dissection needs:
+
+* **architectural events** (``FETCH``, ``LOAD``, ``STORE``,
+  ``REG_WRITE``) — the machine state stream; diffing two runs of the
+  same experiment on these events finds the first corrupted
+  architectural state and the infection set (Figure 7's propagation
+  case study);
+* **machine events** (``EXC_ENTER``, ``EXC_STAGE3``, ``EXC_EXIT``,
+  ``SCHED``, ``PANIC``, ``CRASH``) — the paper's three-stage
+  cycles-to-crash boundaries (Figure 3, Figures 13-15) and the
+  scheduler context the error traveled through;
+* **injector markers** (``INJECT``, ``ACTIVATE``) — where the error
+  entered and where it was first consumed.
+
+Events never carry live object references — only ints and strings —
+so a trace serializes losslessly to JSONL and two traces compare by
+value.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+class EventKind(enum.Enum):
+    """What one trace event records."""
+
+    FETCH = "fetch"
+    LOAD = "load"
+    STORE = "store"
+    REG_WRITE = "reg-write"
+    EXC_ENTER = "exc-enter"          # exception raised (stage-1 end)
+    EXC_STAGE3 = "exc-stage3"        # software handler entry (stage-2 end)
+    EXC_EXIT = "exc-exit"            # benign exception returned
+    SCHED = "sched"                  # scheduler context switch
+    PANIC = "panic"                  # kernel panic_code set
+    CRASH = "crash"                  # terminal crash (stage-3 end)
+    INJECT = "inject"                # error written into the machine
+    ACTIVATE = "activate"            # error first consumed
+
+
+#: kinds that describe architectural state (used for run diffing)
+ARCH_KINDS = frozenset((EventKind.FETCH, EventKind.LOAD,
+                        EventKind.STORE, EventKind.REG_WRITE))
+
+
+@dataclass
+class TraceEvent:
+    """One observation; unused fields stay ``None`` and encode compactly."""
+
+    kind: EventKind
+    instret: int
+    cycles: int
+    pc: int
+    addr: Optional[int] = None
+    width: Optional[int] = None
+    value: Optional[int] = None
+    reg: Optional[str] = None
+    old: Optional[int] = None
+    new: Optional[int] = None
+    vector: Optional[int] = None
+    pid: Optional[int] = None
+    detail: str = ""
+
+    def arch_key(self) -> Tuple:
+        """Value identity for run diffing (cycles excluded: two runs
+        that agree on every architectural fact are the same run even
+        if a cold/warm cache shifted wall-clock bookkeeping)."""
+        return (self.kind, self.instret, self.pc, self.addr, self.width,
+                self.value, self.reg, self.new)
+
+    def to_dict(self) -> dict:
+        payload = {"kind": self.kind.value, "instret": self.instret,
+                   "cycles": self.cycles, "pc": self.pc}
+        for name in ("addr", "width", "value", "reg", "old", "new",
+                     "vector", "pid"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceEvent":
+        return cls(
+            kind=EventKind(payload["kind"]),
+            instret=payload["instret"],
+            cycles=payload["cycles"],
+            pc=payload["pc"],
+            addr=payload.get("addr"),
+            width=payload.get("width"),
+            value=payload.get("value"),
+            reg=payload.get("reg"),
+            old=payload.get("old"),
+            new=payload.get("new"),
+            vector=payload.get("vector"),
+            pid=payload.get("pid"),
+            detail=payload.get("detail", ""),
+        )
+
+
+def write_jsonl(events: Iterable[TraceEvent], path) -> int:
+    """Dump *events* as one JSON object per line; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(),
+                                    sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> List[TraceEvent]:
+    """Load a trace dumped by :func:`write_jsonl`."""
+    events: List[TraceEvent] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events

@@ -1,0 +1,197 @@
+"""The flight recorder: a low-overhead event tracer for one machine.
+
+Two capture modes:
+
+* **ring** (the flight-recorder default) — a bounded ring buffer
+  keeping exactly the last *capacity* events; memory stays O(capacity)
+  no matter how long the run, and ``total_emitted`` still counts
+  everything that passed through;
+* **full** — every event is kept; what replay dissection diffs.
+
+Cost model: the CPUs and the machine guard every emission site with a
+single ``tracer is not None`` / ``trace is not None`` attribute check,
+so a machine with no recorder attached pays one flag test per hot-path
+call and nothing else (``benchmarks/bench_trace_overhead.py`` enforces
+the <= 5 % bound).  Armed, the recorder only *reads* simulated state —
+it never touches ``cycles``, ``instret``, memory, or any RNG — so an
+armed run is bit-identical in outcome to an untraced one (pinned by
+the campaign digests).
+
+Register writes are observed by delta: on every fetch the recorder
+compares the CPU's register snapshot against the previous fetch's and
+attributes the changes to the instruction that just retired.  That
+keeps the CPU cores free of per-register instrumentation and works
+identically on both ISAs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.trace.events import EventKind, TraceEvent, write_jsonl
+
+#: snapshot keys that change on every instruction by construction
+_PC_KEYS = frozenset(("eip", "pc"))
+
+MODES = ("ring", "full")
+DEFAULT_CAPACITY = 4096
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records from one armed machine."""
+
+    def __init__(self, mode: str = "ring",
+                 capacity: int = DEFAULT_CAPACITY):
+        if mode not in MODES:
+            raise ValueError(f"unknown trace mode {mode!r}; "
+                             f"expected one of {MODES}")
+        if mode == "ring" and capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.mode = mode
+        self.capacity = capacity
+        self._events: Union[Deque[TraceEvent], List[TraceEvent]] = \
+            deque(maxlen=capacity) if mode == "ring" else []
+        #: every event ever emitted (ring mode: including evicted ones)
+        self.total_emitted = 0
+        # register-delta state (see module docstring)
+        self._last_snapshot: Optional[Dict[str, int]] = None
+        self._last_pc = 0
+        self._last_instret = 0
+
+    # -- reading back ------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The captured events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring (always 0 in full mode)."""
+        return self.total_emitted - len(self._events)
+
+    def write_jsonl(self, path) -> int:
+        return write_jsonl(self._events, path)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.total_emitted = 0
+        self._last_snapshot = None
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.total_emitted += 1
+
+    # -- CPU-facing hot hooks ---------------------------------------------
+
+    def on_fetch(self, cpu, pc: int) -> None:
+        """Called by the CPU core once per instruction, pre-execute."""
+        self._flush_reg_delta(cpu)
+        self.emit(TraceEvent(EventKind.FETCH, cpu.instret, cpu.cycles,
+                             pc))
+        self._last_pc = pc
+        self._last_instret = cpu.instret
+
+    def on_load(self, cpu, addr: int, width: int, value: int) -> None:
+        self.emit(TraceEvent(EventKind.LOAD, cpu.instret, cpu.cycles,
+                             self._last_pc, addr=addr, width=width,
+                             value=value))
+
+    def on_store(self, cpu, addr: int, width: int, value: int) -> None:
+        self.emit(TraceEvent(EventKind.STORE, cpu.instret, cpu.cycles,
+                             self._last_pc, addr=addr, width=width,
+                             value=value))
+
+    def on_reg_write(self, cpu, reg: str, old: int, new: int) -> None:
+        """Explicit register-write hook (PPC ``mtspr`` path)."""
+        self.emit(TraceEvent(EventKind.REG_WRITE, cpu.instret,
+                             cpu.cycles, self._last_pc, reg=reg,
+                             old=old, new=new))
+
+    def _flush_reg_delta(self, cpu) -> None:
+        snapshot = cpu.snapshot()
+        previous = self._last_snapshot
+        if previous is not None:
+            for name, value in snapshot.items():
+                if name in _PC_KEYS:
+                    continue
+                before = previous.get(name)
+                if before != value:
+                    self.emit(TraceEvent(
+                        EventKind.REG_WRITE, self._last_instret,
+                        cpu.cycles, self._last_pc, reg=name,
+                        old=before, new=value))
+        self._last_snapshot = snapshot
+
+    def flush(self, cpu) -> None:
+        """Emit the pending register delta (end of run / exception)."""
+        self._flush_reg_delta(cpu)
+
+    # -- machine-facing cold hooks ----------------------------------------
+
+    def on_sched(self, machine, old_pid: int, new_pid: int) -> None:
+        cpu = machine.cpu
+        self.emit(TraceEvent(EventKind.SCHED, cpu.instret, cpu.cycles,
+                             self._last_pc, old=old_pid, new=new_pid,
+                             pid=new_pid))
+
+    def on_exc_enter(self, machine, fault, fatal: bool) -> None:
+        self._flush_reg_delta(machine.cpu)
+        cpu = machine.cpu
+        self.emit(TraceEvent(
+            EventKind.EXC_ENTER, cpu.instret, cpu.cycles,
+            self._last_pc, vector=_vector_code(fault.vector),
+            addr=fault.address,
+            detail=("fatal: " if fatal else "benign: ") + fault.detail))
+
+    def on_exc_exit(self, machine, fault) -> None:
+        cpu = machine.cpu
+        self.emit(TraceEvent(
+            EventKind.EXC_EXIT, cpu.instret, cpu.cycles, self._last_pc,
+            vector=_vector_code(fault.vector), detail=fault.detail))
+
+    def on_exc_stage3(self, machine) -> None:
+        cpu = machine.cpu
+        self.emit(TraceEvent(EventKind.EXC_STAGE3, cpu.instret,
+                             cpu.cycles, self._last_pc,
+                             detail="software handler entry"))
+
+    def on_panic(self, machine, code: int) -> None:
+        cpu = machine.cpu
+        self.emit(TraceEvent(EventKind.PANIC, cpu.instret, cpu.cycles,
+                             self._last_pc, value=code,
+                             detail=f"panic_code={code}"))
+
+    def on_crash(self, machine, report) -> None:
+        cpu = machine.cpu
+        self.emit(TraceEvent(
+            EventKind.CRASH, cpu.instret, cpu.cycles, report.pc,
+            vector=_vector_code(report.vector), addr=report.address,
+            detail=report.detail))
+
+    def on_inject(self, machine, detail: str, addr: Optional[int] = None,
+                  reg: Optional[str] = None) -> None:
+        cpu = machine.cpu
+        self.emit(TraceEvent(EventKind.INJECT, cpu.instret, cpu.cycles,
+                             self._last_pc, addr=addr, reg=reg,
+                             detail=detail))
+
+    def on_activate(self, machine, detail: str,
+                    addr: Optional[int] = None) -> None:
+        cpu = machine.cpu
+        self.emit(TraceEvent(EventKind.ACTIVATE, cpu.instret,
+                             cpu.cycles, self._last_pc, addr=addr,
+                             detail=detail))
+
+
+def _vector_code(vector) -> Optional[int]:
+    try:
+        return int(vector)
+    except (TypeError, ValueError):      # pragma: no cover
+        return None

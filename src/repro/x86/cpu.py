@@ -77,6 +77,13 @@ class X86CPU:
         self.halted = False
         self.user_mode = False
 
+        # Flight-recorder hook (repro.trace.recorder.TraceRecorder).
+        # None when tracing is disabled: every emission site below
+        # guards on this one attribute, so the disabled hot path pays
+        # a single flag test and nothing else.  An armed recorder only
+        # reads state — simulated cycles/instret/RNG are untouched.
+        self.tracer = None
+
         self._icache: Dict[int, Instr] = {}
         # Warm tier: decoded instructions inherited from a fork parent
         # (or demoted by a code write).  A warm entry's decode is valid
@@ -229,6 +236,8 @@ class X86CPU:
         else:
             value = self.mem.read_u8(addr)
         self.cycles += 2
+        if self.tracer is not None:
+            self.tracer.on_load(self, addr, width, value)
         if self.debug._watchpoints:
             self.debug.check_access(addr, width, AccessKind.READ,
                                     self.cycles)
@@ -248,6 +257,8 @@ class X86CPU:
         else:
             self.mem.write_u8(addr, value)
         self.cycles += 2
+        if self.tracer is not None:
+            self.tracer.on_store(self, addr, width, value)
         if self.debug._watchpoints:
             self.debug.check_access(addr, width, AccessKind.WRITE,
                                     self.cycles)
@@ -429,6 +440,8 @@ class X86CPU:
             return
         eip = self.eip
         self.current_eip = eip
+        if self.tracer is not None:
+            self.tracer.on_fetch(self, eip)
         if self.debug._insn_bps:
             self.debug.check_fetch(eip, self.cycles)
         instr = self._icache.get(eip)

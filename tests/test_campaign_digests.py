@@ -12,6 +12,13 @@ change to fork semantics, decode caching, RNG seeding, or result
 encoding that shifts even one cycle count fails here.  CI runs a fast
 smoke subset (one kind per arch at ``workers=2``); the full matrix runs
 with the regular suite.
+
+Re-recorded once when the codec gained ``activation_instret`` /
+``crash_instret`` (store format 3): every pre-change field of every
+result was verified bit-identical against a snapshot of the old
+payloads before the new hashes were written, so the recording still
+pins the pre-COW behavior — the digests changed only because the
+serialization grew two fields.
 """
 
 from __future__ import annotations

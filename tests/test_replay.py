@@ -1,0 +1,188 @@
+"""Deterministic replay of journaled experiments.
+
+The campaigns here are journaled once per module (serially and through
+the parallel engine), then every journaled experiment is re-executed
+and verified against its record — the store's durability contract and
+the engine's serial-equivalence contract, checked end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.outcomes import CampaignKind, Outcome
+from repro.store.journal import decode_record, encode_record
+from repro.store.manifest import JOURNAL_NAME, CampaignManifest
+from repro.store.store import CampaignStore
+from repro.trace.dissect import dissect_experiment, render_dissection
+from repro.trace.replay import (
+    ReplayDivergence, ReplayError, Replayer,
+)
+
+X86_CONFIG = dict(arch="x86", kind=CampaignKind.STACK, count=6,
+                  seed=0, ops=36)
+PPC_CONFIG = dict(arch="ppc", kind=CampaignKind.CODE, count=12,
+                  seed=0, ops=36)
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory, x86_context, ppc_context):
+    """(serial store, workers=4 store) with journaled campaigns."""
+    root = tmp_path_factory.mktemp("replay-stores")
+    serial = CampaignStore(root / "w1")
+    parallel = CampaignStore(root / "w4")
+    Campaign(CampaignConfig(**X86_CONFIG), x86_context).run(store=serial)
+    Campaign(CampaignConfig(**PPC_CONFIG), ppc_context).run(store=serial)
+    Campaign(CampaignConfig(**X86_CONFIG), x86_context).run(
+        store=parallel, workers=4)
+    return serial, parallel
+
+
+def _campaign_id(config: dict) -> str:
+    return CampaignManifest.from_config(
+        CampaignConfig(**config)).campaign_id
+
+
+# -- every journaled experiment replays bit-identically -----------------------
+
+@pytest.mark.parametrize("config", [X86_CONFIG, PPC_CONFIG],
+                         ids=["x86-stack", "ppc-code"])
+def test_replay_all_serial(stores, config):
+    serial, _parallel = stores
+    replayer = Replayer(serial, _campaign_id(config))
+    outcomes = replayer.replay_all()
+    assert len(outcomes) == config["count"]
+    for outcome in outcomes:
+        assert outcome.replayed == outcome.journaled
+        if outcome.spec is None:       # screened: no machine ran
+            assert outcome.replayed.screened
+            assert outcome.recorder.total_emitted == 0
+        else:
+            assert outcome.recorder.total_emitted > 0
+
+
+def test_replay_all_from_parallel_run(stores):
+    """A campaign journaled at workers=4 replays experiment-by-
+    experiment on the serial path — the serial-equivalence contract."""
+    _serial, parallel = stores
+    replayer = Replayer(parallel, _campaign_id(X86_CONFIG))
+    outcomes = replayer.replay_all()
+    assert len(outcomes) == X86_CONFIG["count"]
+    assert all(outcome.replayed == outcome.journaled
+               for outcome in outcomes)
+
+
+def test_parallel_and_serial_journals_agree(stores):
+    serial, parallel = stores
+    campaign_id = _campaign_id(X86_CONFIG)
+    assert [dataclasses.asdict(result) if dataclasses.is_dataclass(
+        result) else result for result in serial.results(campaign_id)] \
+        == [dataclasses.asdict(result) if dataclasses.is_dataclass(
+            result) else result
+            for result in parallel.results(campaign_id)]
+
+
+# -- divergence and refusal ---------------------------------------------------
+
+def _tamper_crash_cycles(store: CampaignStore, campaign_id: str) -> int:
+    """Rewrite one crashed record with crash_cycles+1 (crc kept valid);
+    returns the tampered index."""
+    journal_path = store.campaign_dir(campaign_id) / JOURNAL_NAME
+    lines = journal_path.read_text().splitlines()
+    for position, line in enumerate(lines):
+        index, result = decode_record(line)
+        if result.crash_cycles is not None:
+            tampered = dataclasses.replace(
+                result, crash_cycles=result.crash_cycles + 1)
+            lines[position] = encode_record(index, tampered)
+            journal_path.write_text("\n".join(lines) + "\n")
+            return index
+    raise AssertionError("no crashed record to tamper with")
+
+
+def test_tampered_journal_raises_divergence(stores, tmp_path,
+                                            x86_context):
+    store = CampaignStore(tmp_path / "tampered")
+    Campaign(CampaignConfig(**X86_CONFIG), x86_context).run(store=store)
+    campaign_id = _campaign_id(X86_CONFIG)
+    index = _tamper_crash_cycles(store, campaign_id)
+    replayer = Replayer(store, campaign_id)
+    with pytest.raises(ReplayDivergence) as excinfo:
+        replayer.replay(index)
+    assert "crash_cycles" in excinfo.value.fields
+    journaled, replayed = excinfo.value.fields["crash_cycles"]
+    assert journaled == replayed + 1
+
+
+def test_unknown_index_and_campaign_refused(stores):
+    serial, _parallel = stores
+    replayer = Replayer(serial, _campaign_id(X86_CONFIG))
+    with pytest.raises(ReplayError, match="no journaled result"):
+        replayer.replay(X86_CONFIG["count"] + 5)
+    with pytest.raises(ReplayError):
+        Replayer(serial, "stack-x86-000000000000")
+
+
+def test_foreign_code_version_refused(stores, tmp_path, x86_context):
+    store = CampaignStore(tmp_path / "foreign")
+    Campaign(CampaignConfig(**X86_CONFIG), x86_context).run(store=store)
+    campaign_id = _campaign_id(X86_CONFIG)
+    directory = store.campaign_dir(campaign_id)
+    manifest = CampaignManifest.load(directory)
+    foreign = dataclasses.replace(manifest,
+                                  code_version="9.9.9+fmt999")
+    foreign.save(directory)
+    with pytest.raises(ReplayError, match="code version|written by"):
+        Replayer(store, campaign_id)
+
+
+def test_screened_experiment_replays_without_machine(stores):
+    serial, _parallel = stores
+    replayer = Replayer(serial, _campaign_id(X86_CONFIG))
+    screened = [index for index in replayer.indices
+                if replayer.journaled(index).screened]
+    assert screened, "expected at least one screened experiment"
+    outcome = replayer.replay(screened[0])
+    assert outcome.spec is None
+    assert outcome.replayed.outcome is Outcome.NOT_ACTIVATED
+
+
+# -- dissection over replayed experiments -------------------------------------
+
+@pytest.mark.parametrize("config", [X86_CONFIG, PPC_CONFIG],
+                         ids=["x86-stack", "ppc-code"])
+def test_dissection_stages_sum_to_latency(stores, config):
+    serial, _parallel = stores
+    replayer = Replayer(serial, _campaign_id(config))
+    crashed = [index for index in replayer.indices
+               if replayer.journaled(index).crash_cycles is not None]
+    assert crashed, f"expected a crash in {config}"
+    dissection = dissect_experiment(replayer, crashed[0])
+    result = dissection.result
+    assert dissection.infected
+    assert dissection.hops
+    breakdown = dissection.stages
+    assert breakdown is not None
+    assert breakdown.arch == config["arch"]
+    assert breakdown.stage1 + breakdown.stage2 + breakdown.stage3 \
+        == breakdown.total == result.latency
+    report = render_dissection(dissection)
+    assert "error propagation chain" in report
+    assert "stages (cycles)" in report
+
+
+def test_replay_trace_dump(stores, tmp_path):
+    serial, _parallel = stores
+    replayer = Replayer(serial, _campaign_id(X86_CONFIG))
+    crashed = [index for index in replayer.indices
+               if replayer.journaled(index).crash_cycles is not None]
+    outcome = replayer.replay(crashed[0], mode="full")
+    path = tmp_path / "trace.jsonl"
+    count = outcome.recorder.write_jsonl(path)
+    assert count == outcome.recorder.total_emitted
+    first = json.loads(path.read_text().splitlines()[0])
+    assert {"kind", "instret", "cycles", "pc"} <= set(first)

@@ -1,0 +1,232 @@
+"""Flight recorder: ring semantics, hooks, and non-perturbation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.injector import InjectionRun
+from repro.injection.outcomes import CampaignKind, Outcome
+from repro.store.codec import result_to_dict
+from repro.trace.dissect import (
+    dissect_traces, render_dissection, render_stage_table,
+    stage_breakdown,
+)
+from repro.trace.events import (
+    ARCH_KINDS, EventKind, TraceEvent, read_jsonl, write_jsonl,
+)
+from repro.trace.recorder import TraceRecorder
+
+
+def _event(n: int, kind: EventKind = EventKind.FETCH) -> TraceEvent:
+    return TraceEvent(kind, instret=n, cycles=2 * n, pc=0x1000 + n)
+
+
+def _run_traced(context, kind: CampaignKind, index: int,
+                mode: str = "full", capacity: int = 4096):
+    """One campaign experiment with the recorder armed."""
+    config = CampaignConfig(arch=context.arch, kind=kind,
+                            count=index + 1, seed=0, ops=36)
+    campaign = Campaign(config, context)
+    targets = campaign.generate_targets()
+    run = InjectionRun(campaign.spec_for(index, targets[index]))
+    recorder = TraceRecorder(mode=mode, capacity=capacity)
+    run.machine.attach_tracer(recorder)
+    try:
+        result = run.execute()
+    finally:
+        run.machine.detach_tracer()
+    return result, recorder
+
+
+def _run_untraced(context, kind: CampaignKind, index: int):
+    config = CampaignConfig(arch=context.arch, kind=kind,
+                            count=index + 1, seed=0, ops=36)
+    campaign = Campaign(config, context)
+    targets = campaign.generate_targets()
+    return InjectionRun(campaign.spec_for(index, targets[index])).execute()
+
+
+# -- ring buffer semantics ----------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(total=st.integers(min_value=0, max_value=300),
+       capacity=st.integers(min_value=1, max_value=64))
+def test_ring_keeps_exactly_last_n(total, capacity):
+    recorder = TraceRecorder(mode="ring", capacity=capacity)
+    for n in range(total):
+        recorder.emit(_event(n))
+    kept = recorder.events
+    expected = [_event(n) for n in range(max(0, total - capacity),
+                                         total)]
+    assert kept == expected
+    assert len(recorder) == min(total, capacity)
+    assert recorder.total_emitted == total
+    assert recorder.dropped == max(0, total - capacity)
+
+
+def test_full_mode_keeps_everything():
+    recorder = TraceRecorder(mode="full")
+    for n in range(10_000):
+        recorder.emit(_event(n))
+    assert len(recorder) == 10_000
+    assert recorder.dropped == 0
+
+
+def test_invalid_mode_and_capacity_rejected():
+    with pytest.raises(ValueError):
+        TraceRecorder(mode="rolling")
+    with pytest.raises(ValueError):
+        TraceRecorder(mode="ring", capacity=0)
+
+
+def test_clear_resets_counters():
+    recorder = TraceRecorder(mode="ring", capacity=4)
+    for n in range(9):
+        recorder.emit(_event(n))
+    recorder.clear()
+    assert len(recorder) == 0
+    assert recorder.total_emitted == 0
+    assert recorder.dropped == 0
+
+
+# -- event codec --------------------------------------------------------------
+
+def test_jsonl_round_trip(tmp_path):
+    events = [
+        TraceEvent(EventKind.FETCH, 5, 12, 0xC0100000),
+        TraceEvent(EventKind.LOAD, 6, 14, 0xC0100004,
+                   addr=0xC0500000, width=4, value=0xDEAD),
+        TraceEvent(EventKind.REG_WRITE, 6, 15, 0xC0100004,
+                   reg="eax", old=1, new=2),
+        TraceEvent(EventKind.EXC_ENTER, 7, 20, 0xC0100008,
+                   vector=14, addr=4, detail="fatal: page fault"),
+        TraceEvent(EventKind.SCHED, 8, 30, 0xC010000C,
+                   old=1, new=2, pid=2),
+    ]
+    path = tmp_path / "trace.jsonl"
+    assert write_jsonl(events, path) == len(events)
+    assert read_jsonl(path) == events
+
+
+def test_arch_key_excludes_cycles():
+    one = TraceEvent(EventKind.LOAD, 5, 100, 0x10, addr=0x20,
+                     width=4, value=7)
+    other = TraceEvent(EventKind.LOAD, 5, 999, 0x10, addr=0x20,
+                       width=4, value=7)
+    assert one.arch_key() == other.arch_key()
+    assert ARCH_KINDS == {EventKind.FETCH, EventKind.LOAD,
+                          EventKind.STORE, EventKind.REG_WRITE}
+
+
+# -- armed recorder does not perturb the experiment ---------------------------
+
+def test_armed_tracing_does_not_perturb_x86(x86_context):
+    untraced = _run_untraced(x86_context, CampaignKind.STACK, 0)
+    traced, recorder = _run_traced(x86_context, CampaignKind.STACK, 0)
+    assert result_to_dict(traced) == result_to_dict(untraced)
+    assert recorder.total_emitted > 0
+
+
+def test_armed_tracing_does_not_perturb_ppc(ppc_context):
+    untraced = _run_untraced(ppc_context, CampaignKind.CODE, 0)
+    traced, recorder = _run_traced(ppc_context, CampaignKind.CODE, 0)
+    assert result_to_dict(traced) == result_to_dict(untraced)
+    assert recorder.total_emitted > 0
+
+
+def test_ring_mode_bounds_memory_on_real_run(x86_context):
+    result, recorder = _run_traced(x86_context, CampaignKind.STACK, 0,
+                                   mode="ring", capacity=256)
+    assert result.outcome in (Outcome.CRASH_KNOWN,
+                              Outcome.CRASH_UNKNOWN)
+    assert len(recorder) == 256
+    assert recorder.dropped == recorder.total_emitted - 256
+
+
+def test_fork_does_not_inherit_tracer(fresh_x86):
+    recorder = TraceRecorder()
+    fresh_x86.attach_tracer(recorder)
+    clone = fresh_x86.fork()
+    assert clone.trace is None
+    assert clone.cpu.tracer is None
+    assert fresh_x86.detach_tracer() is recorder
+
+
+# -- crash runs carry the stage boundaries ------------------------------------
+
+@pytest.mark.parametrize("arch,kind,index", [
+    ("x86", CampaignKind.STACK, 0),
+    ("ppc", CampaignKind.CODE, 0),
+])
+def test_crash_trace_has_stage_boundaries(arch, kind, index,
+                                          x86_context, ppc_context):
+    context = x86_context if arch == "x86" else ppc_context
+    result, recorder = _run_traced(context, kind, index)
+    assert result.crash_cycles is not None
+    kinds = [event.kind for event in recorder.events]
+    assert EventKind.INJECT in kinds
+    assert EventKind.CRASH in kinds
+    assert EventKind.EXC_STAGE3 in kinds
+    assert any(event.kind is EventKind.EXC_ENTER
+               and event.detail.startswith("fatal:")
+               for event in recorder.events)
+    breakdown = stage_breakdown(recorder.events, result=result)
+    assert breakdown is not None
+    assert breakdown.stage1 + breakdown.stage2 + breakdown.stage3 \
+        == breakdown.total == result.latency
+    table = render_stage_table([breakdown], arch)
+    assert "cycles-to-crash by stage" in table
+    assert str(breakdown.total) in table
+
+
+def test_instret_latency_recorded_on_crash(x86_context):
+    from repro.analysis.latency import instruction_latency_histogram
+    result = _run_untraced(x86_context, CampaignKind.STACK, 0)
+    assert result.crash_instret is not None
+    assert result.activation_instret is not None
+    assert result.latency_instructions is not None
+    assert result.latency_instructions <= result.latency
+    histogram = instruction_latency_histogram([result])
+    assert sum(histogram.values()) == 1
+
+
+# -- dissection on synthetic traces -------------------------------------------
+
+def test_dissect_identical_traces_is_clean():
+    events = [_event(n) for n in range(20)]
+    dissection = dissect_traces(events, events)
+    assert not dissection.infected
+    assert dissection.hops == []
+    assert "no architectural divergence" in \
+        render_dissection(dissection)
+
+
+def test_dissect_orders_hops_by_first_corruption():
+    clean = [
+        TraceEvent(EventKind.FETCH, 1, 2, 0x10),
+        TraceEvent(EventKind.LOAD, 2, 4, 0x14, addr=0x100, width=4,
+                   value=5),
+        TraceEvent(EventKind.REG_WRITE, 2, 5, 0x14, reg="r3", old=0,
+                   new=5),
+    ]
+    faulty = [
+        clean[0],
+        TraceEvent(EventKind.LOAD, 2, 4, 0x14, addr=0x100, width=4,
+                   value=9),                      # corrupt load
+        TraceEvent(EventKind.REG_WRITE, 2, 5, 0x14, reg="r3", old=0,
+                   new=9),                        # infects r3
+        TraceEvent(EventKind.STORE, 3, 7, 0x18, addr=0x200, width=4,
+                   value=9),                      # r3 spills to memory
+    ]
+    dissection = dissect_traces(faulty, clean)
+    assert dissection.infected
+    assert dissection.first_divergence.kind is EventKind.LOAD
+    assert [hop.location for hop in dissection.hops] == \
+        ["mem 0x00000100", "reg r3", "mem 0x00000200"]
+    assert dissection.infected_registers == {"r3"}
+    assert dissection.infected_addresses == {0x100, 0x200}
+    report = render_dissection(dissection)
+    assert "reg r3" in report and "mem 0x00000200" in report
