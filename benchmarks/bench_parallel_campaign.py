@@ -53,3 +53,29 @@ def test_bench_parallel_register_campaign(benchmark, workers,
     print(f"\nworkers={workers}: {COUNT} injections in "
           f"{state['elapsed']:.2f}s = {throughput:.1f} inj/s "
           f"({os.cpu_count()} cores)")
+
+
+@pytest.mark.parametrize("exec_mode", ["step", "block"])
+def test_bench_campaign_exec_mode(benchmark, exec_mode,
+                                  register_context):
+    """End-to-end campaign cost under each execution core: the same
+    register campaign, serial, with only ``exec_mode`` varying — the
+    measured ratio is the real-world payoff of the block compiler
+    (screening, forking and classification overheads included)."""
+    config = CampaignConfig(arch="x86", kind=CampaignKind.REGISTER,
+                            count=COUNT, seed=11, ops=40,
+                            exec_mode=exec_mode)
+    state = {}
+
+    def run_once():
+        start = time.perf_counter()
+        state["result"] = Campaign(config, register_context).run()
+        state["elapsed"] = time.perf_counter() - start
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+    result = state["result"]
+    assert result.injected == COUNT
+    assert not result.failures
+    print(f"\nexec_mode={exec_mode}: {COUNT} injections in "
+          f"{state['elapsed']:.2f}s = {COUNT / state['elapsed']:.1f} "
+          f"inj/s")

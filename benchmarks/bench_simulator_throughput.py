@@ -1,18 +1,84 @@
 """Substrate microbenchmarks: simulated instructions per second.
 
 Not a paper figure, but the number every campaign cost scales with:
-how fast each simulated processor retires the kernel workload.
+how fast each simulated processor retires the kernel workload — and,
+since the block compiler landed, how much faster the compiled-block
+core is than the single-step interpreter.
+
+Two entry points:
+
+* the pytest-benchmark tests below (``pytest benchmarks/``), which
+  time forked-clone workload runs under both exec modes;
+* a script mode used as the CI performance gate::
+
+      PYTHONPATH=src python benchmarks/bench_simulator_throughput.py \
+          --enforce-min-speedup 3.0
+
+  which measures steady-state syscall throughput (step vs block, both
+  arches, best-of-N to ride out host timing noise), prints the speedup
+  table, and exits non-zero if either architecture falls below the
+  floor.
 """
 
-import pytest
+from __future__ import annotations
 
-from repro.machine.machine import Machine
+import argparse
+import gc
+import sys
+import time
+
+from repro.machine.machine import Machine, MachineConfig
 from repro.workload.driver import UnixBenchDriver
 
 
-@pytest.mark.parametrize("arch", ["x86", "ppc"])
-def test_bench_workload_throughput(benchmark, arch):
-    machine = Machine(arch)
+def _warm_machine(arch: str, exec_mode: str) -> Machine:
+    machine = Machine(arch, config=MachineConfig(exec_mode=exec_mode))
+    machine.boot()
+    driver = UnixBenchDriver(machine, seed=0)
+    driver.setup()
+    driver.run(12)                      # warm caches / compile blocks
+    return machine
+
+
+def measure_pair(arch: str, syscalls: int = 400,
+                 repeats: int = 5) -> "tuple[float, float]":
+    """(step, block) steady-state throughput in retired insn/s.
+
+    Both machines are booted and warmed through a short workload (so
+    the decode and block caches are hot — steady state is what
+    campaigns run in), then timed over *syscalls* kernel entries per
+    repeat with the two modes interleaved, so slow host drift (thermal,
+    scheduling) hits both sides alike instead of skewing the ratio.
+    Best-of-*repeats* per mode; GC is paused during the timed windows.
+    """
+    machines = {mode: _warm_machine(arch, mode)
+                for mode in ("step", "block")}
+    best = {"step": 0.0, "block": 0.0}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for mode in ("step", "block"):
+                machine = machines[mode]
+                base = machine.cpu.instret
+                start = time.perf_counter()
+                for index in range(syscalls):
+                    machine.syscall(1 + (index % 4))
+                elapsed = time.perf_counter() - start
+                rate = (machine.cpu.instret - base) / elapsed
+                best[mode] = max(best[mode], rate)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best["step"], best["block"]
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+
+
+def test_bench_workload_throughput(benchmark, arch, exec_mode):
+    machine = Machine(arch, config=MachineConfig(exec_mode=exec_mode))
     machine.boot()
     driver = UnixBenchDriver(machine, seed=0)
     driver.setup()
@@ -29,4 +95,53 @@ def test_bench_workload_throughput(benchmark, arch):
         state["instret"] = clone.cpu.instret - base.cpu.instret
 
     benchmark.pedantic(run_ops, rounds=3, iterations=1)
-    print(f"\n{arch}: ~{state['instret']} instructions per 10 ops")
+    print(f"\n{arch}/{exec_mode}: ~{state['instret']} instructions "
+          f"per 10 ops")
+
+
+def pytest_generate_tests(metafunc):
+    if "arch" in metafunc.fixturenames:
+        metafunc.parametrize("arch", ["x86", "ppc"])
+    if "exec_mode" in metafunc.fixturenames:
+        metafunc.parametrize("exec_mode", ["step", "block"])
+
+
+# ---------------------------------------------------------------------------
+# script mode: the CI speedup gate
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="step-vs-block interpreter throughput gate")
+    parser.add_argument("--enforce-min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero unless block/step >= X on "
+                             "both architectures")
+    parser.add_argument("--syscalls", type=int, default=400,
+                        help="timed kernel entries per repeat")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N repeats per mode")
+    args = parser.parse_args(argv)
+
+    print(f"{'arch':<6} {'step insn/s':>14} {'block insn/s':>14} "
+          f"{'speedup':>9}")
+    failures = []
+    for arch in ("x86", "ppc"):
+        step, block = measure_pair(arch, args.syscalls, args.repeats)
+        speedup = block / step
+        print(f"{arch:<6} {step:>14,.0f} {block:>14,.0f} "
+              f"{speedup:>8.2f}x")
+        if args.enforce_min_speedup is not None and \
+                speedup < args.enforce_min_speedup:
+            failures.append((arch, speedup))
+    if failures:
+        for arch, speedup in failures:
+            print(f"FAIL: {arch} block core is only {speedup:.2f}x the "
+                  f"step core (floor {args.enforce_min_speedup:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,6 +103,14 @@ def _add_prune(parser: argparse.ArgumentParser) -> None:
         "code); code campaigns only")
 
 
+def _add_exec_mode(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--exec-mode", choices=["step", "block"], default="block",
+        help="execution core: 'block' runs compiled superblocks "
+        "(default; bit-identical results, much faster), 'step' is "
+        "the plain interpreter")
+
+
 def _check_store_args(args: argparse.Namespace) -> None:
     if args.resume and not args.store:
         raise SystemExit("--resume requires --store DIR")
@@ -113,7 +121,8 @@ def cmd_study(args: argparse.Namespace) -> int:
     config = StudyConfig(seed=args.seed, scale=args.scale,
                          ops=args.ops, workers=args.workers,
                          store=args.store, resume=args.resume,
-                         prune="dead" if args.prune_dead else "none")
+                         prune="dead" if args.prune_dead else "none",
+                         exec_mode=args.exec_mode)
     study = Study(config)
     for arch in ("x86", "ppc"):
         for kind in CampaignKind:
@@ -138,7 +147,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                            store=args.store, resume=args.resume,
                            progress=_progress_printer()
                            if args.progress else None,
-                           prune="dead" if args.prune_dead else "none")
+                           prune="dead" if args.prune_dead else "none",
+                           exec_mode=args.exec_mode)
     if args.prune_dead:
         print(f"prune-dead: {outcome.pruned_draws} draw(s) rejected "
               f"and redrawn", file=sys.stderr)
@@ -352,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(study)
     _add_store(study)
     _add_prune(study)
+    _add_exec_mode(study)
     study.set_defaults(func=cmd_study)
 
     campaign = sub.add_parser("campaign", help="run one campaign")
@@ -364,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(campaign)
     _add_store(campaign)
     _add_prune(campaign)
+    _add_exec_mode(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
     store = sub.add_parser("store",

@@ -1,0 +1,789 @@
+"""x86 superblock code generator.
+
+``generate`` turns a run of decoded :class:`Instr` objects into the
+source of one Python function ``_block(cpu)`` and compiles it.  Hot
+instructions (moves, ALU, stack ops, branches) are *inlined*: their
+semantics are re-emitted with operands folded to constants, registers
+addressed by literal index, and EFLAGS carried in a local.  Everything
+else calls the original executor through a pre-bound global (a
+*generic* step), bracketed by exact state synchronization.
+
+Equivalence rules (the generated code must be bit-identical to the
+step core at every observation point — fault raise, watchpoint
+callback, executor call, block exit):
+
+* ``cyc``/``ins``/``ef`` shadow ``cpu.cycles``/``instret``/``eflags``;
+  ``cur``/``nxt``/``ri`` track what ``current_eip``/``eip``/retired
+  count would be mid-step.  The ``except`` trailer writes them back on
+  any raise unless a generic call is in flight (``synced``).
+* Static per-instruction cycle costs are batched in a compile-time
+  accumulator and flushed before the next fault-capable body, so
+  ``cyc`` is step-exact whenever it can be observed.  Dynamic costs
+  (+2 per memory access, +2 per taken branch) are emitted at their
+  exact step positions.
+* Memory accesses replicate ``cpu.load``/``cpu.store`` verbatim for
+  the safe segments (ES/CS/SS/DS, whose base is 0): permission check,
+  ``_memfault`` translation, access, ``cycles += 2``, watchpoint hook
+  with fully synced state.  FS/GS operands and sub-word ALU widths
+  fall back to the generic executor.
+
+Inlining is only attempted for instruction *instances* that qualify;
+any ineligible instance silently degrades to a generic step, never to
+an error.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.isa.faults import AccessKind, MemoryFault
+from repro.x86 import decoder as xdec
+from repro.x86.registers import SEG_CS, SEG_DS, SEG_ES, SEG_SS
+
+M = 0xFFFFFFFF
+MSB = 0x80000000
+_SAFE_SEGS = frozenset({SEG_ES, SEG_CS, SEG_SS, SEG_DS})
+
+#: cycle slack per instruction on top of the static cost, covering the
+#: dynamic ``cycles += 2`` bumps (memory access, taken branch)
+INLINE_SLACK = 8
+#: slack for a generic executor call (int's +120 dispatch sequence is
+#: the worst bounded case)
+GENERIC_SLACK = 150
+
+#: executors whose cycle cost is unbounded (ecx-driven string loops) —
+#: never included in a block
+UNBOUNDED = frozenset({xdec.exec_movs, xdec.exec_stos})
+
+
+def insn_length(instr) -> int:
+    return instr.length
+
+
+def decode_raw(cpu, addr: int):
+    """Decode from memory bytes without touching fault state."""
+    return xdec.decode(cpu.mem.read(addr, xdec.MAX_INSN_LEN), addr)
+
+
+def fetch(cpu, addr: int):
+    """Discovery-time fetch mirroring ``step()``'s tier order; raises
+    MemoryFault (not X86Fault) on a failed check so discovery can
+    truncate without mutating cr2."""
+    instr = cpu._icache.get(addr)
+    if instr is None:
+        instr = cpu._icache_warm.get(addr)
+        if instr is None:
+            instr = decode_raw(cpu, addr)
+        cpu.aspace.check(addr, instr.length, AccessKind.FETCH)
+    return instr
+
+
+# ---------------------------------------------------------------------------
+# emission machinery
+
+
+class _Gen:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.ns: Dict[str, object] = {
+            "__builtins__": {},
+            # the skeleton's except clause must resolve this even
+            # though the namespace has no builtins
+            "BaseException": BaseException,
+            "MF": MemoryFault,
+            "AKR": AccessKind.READ,
+            "AKW": AccessKind.WRITE,
+        }
+        self.pend = 0               # batched static cycles
+        self.max_cycles = 0
+        self.eip_done = False       # a final branch already wrote eip
+        self.returned = False       # generic-final emitted a return
+        self._n = 0
+
+    def w(self, line: str) -> None:
+        self.lines.append("        " + line)
+
+    def bind(self, prefix: str, obj) -> str:
+        name = f"{prefix}{self._n}"
+        self._n += 1
+        self.ns[name] = obj
+        return name
+
+    def flush(self) -> None:
+        if self.pend:
+            self.w(f"cyc += {self.pend}")
+            self.pend = 0
+
+    def entry(self, a: int, n: int, k: int) -> None:
+        """Sync point opening a fault-capable instruction body."""
+        self.flush()
+        self.w(f"cur = {a}; nxt = {n}; ri = {k}")
+
+
+def _ea_expr(i) -> str:
+    parts = []
+    if i.base >= 0:
+        parts.append(f"regs[{i.base}]")
+    if i.index >= 0:
+        parts.append(f"regs[{i.index}] * {i.scale}" if i.scale != 1
+                     else f"regs[{i.index}]")
+    disp = i.disp & M
+    if not parts:
+        return str(disp)
+    if disp:
+        parts.append(str(disp))
+    return "(" + " + ".join(parts) + ") & 4294967295"
+
+
+_READS = {4: "mem.read_u32(a_, True)", 2: "mem.read_u16(a_, True)",
+          1: "mem.read_u8(a_)"}
+
+
+def _wp_sync(g: _Gen, width: int, kind: str) -> None:
+    g.w("if debug._watchpoints:")
+    g.w("    cpu.cycles = cyc; cpu.instret = ins + ri; cpu.eflags = ef")
+    g.w("    cpu.current_eip = cur; cpu.eip = nxt")
+    g.w(f"    debug.check_access(a_, {width}, {kind}, cyc)")
+
+
+def _load(g: _Gen, width: int) -> None:
+    """cpu.load() for a safe segment; address in ``a_``, result in ``v_``.
+
+    The fast path inlines ``aspace.check``'s region hit (same
+    containment + permission test, no call) against a per-site region
+    cell that persists across executions — each access site has
+    near-perfect region locality even when a block interleaves stack
+    and data traffic.  The cell is keyed on the address-space identity
+    and its layout epoch, so unmapping (or running the shared block on
+    a forked machine) forces one slow-path refresh.
+    ``translation_on`` needs no test here: block dispatch requires it,
+    and mid-block it only changes inside system instructions, which
+    always end their block.  Any miss falls back to the real
+    ``check``/read calls, so faults are attributed identically."""
+    cell = g.bind("s", [None, None, -1])
+    g.w(f"rg_ = {cell}[0]")
+    g.w(f"if {cell}[1] is aspace and {cell}[2] == aspace._epoch and "
+        f"rg_.start <= a_ and "
+        f"a_ + {width} <= rg_.start + rg_.size and \"r\" in rg_.perm:")
+    if width == 4:
+        g.w("    o_ = a_ & 4095")
+        g.w("    pg_ = pages.get(a_ >> 12)")
+        g.w("    if pg_ is not None and o_ < 4093:")
+        g.w("        v_ = pg_[o_] | (pg_[o_ + 1] << 8) | "
+            "(pg_[o_ + 2] << 16) | (pg_[o_ + 3] << 24)")
+        g.w("    else:")
+        g.w("        v_ = mem.read_u32(a_, True)")
+    elif width == 2:
+        g.w("    o_ = a_ & 4095")
+        g.w("    pg_ = pages.get(a_ >> 12)")
+        g.w("    if pg_ is not None and o_ < 4095:")
+        g.w("        v_ = pg_[o_] | (pg_[o_ + 1] << 8)")
+        g.w("    else:")
+        g.w("        v_ = mem.read_u16(a_, True)")
+    else:
+        g.w("    pg_ = pages.get(a_ >> 12)")
+        g.w("    v_ = pg_[a_ & 4095] if pg_ is not None else 0")
+    g.w("else:")
+    g.w("    try:")
+    g.w(f"        aspace.check(a_, {width}, AKR)")
+    g.w("    except MF as mf:")
+    g.w("        cpu._memfault(mf)")
+    g.w(f"    v_ = {_READS[width]}")
+    g.w(f"    {cell}[0] = aspace._last; {cell}[1] = aspace; "
+        f"{cell}[2] = aspace._epoch")
+    g.w("cyc += 2")
+    _wp_sync(g, width, "AKR")
+
+
+def _store(g: _Gen, width: int, value: str) -> None:
+    """Mirror of :func:`_load` for writes; the fast path additionally
+    requires the page to be private (COW pages and misses go through
+    ``mem.write_*`` which privatizes)."""
+    cell = g.bind("s", [None, None, -1])
+    g.w(f"rg_ = {cell}[0]")
+    g.w(f"if {cell}[1] is aspace and {cell}[2] == aspace._epoch and "
+        f"rg_.start <= a_ and "
+        f"a_ + {width} <= rg_.start + rg_.size and \"w\" in rg_.perm:")
+    g.w("    pi_ = a_ >> 12")
+    g.w("    pg_ = pages.get(pi_)")
+    if width == 4:
+        g.w("    o_ = a_ & 4095")
+        g.w("    if pg_ is not None and o_ < 4093 and pi_ not in shared_:")
+        g.w(f"        pg_[o_:o_ + 4] = "
+            f"(({value}) & 4294967295).to_bytes(4, \"little\")")
+        g.w("    else:")
+        g.w(f"        mem.write_u32(a_, {value}, True)")
+    elif width == 2:
+        g.w("    o_ = a_ & 4095")
+        g.w("    if pg_ is not None and o_ < 4095 and pi_ not in shared_:")
+        g.w(f"        t_ = {value}")
+        g.w("        pg_[o_] = t_ & 255")
+        g.w("        pg_[o_ + 1] = (t_ >> 8) & 255")
+        g.w("    else:")
+        g.w(f"        mem.write_u16(a_, {value}, True)")
+    else:
+        g.w("    if pg_ is not None and pi_ not in shared_:")
+        g.w(f"        pg_[a_ & 4095] = ({value}) & 255")
+        g.w("    else:")
+        g.w(f"        mem.write_u8(a_, {value})")
+    g.w("else:")
+    g.w("    try:")
+    g.w(f"        aspace.check(a_, {width}, AKW)")
+    g.w("    except MF as mf:")
+    g.w("        cpu._memfault(mf)")
+    if width == 4:
+        g.w(f"    mem.write_u32(a_, {value}, True)")
+    elif width == 2:
+        g.w(f"    mem.write_u16(a_, {value}, True)")
+    else:
+        g.w(f"    mem.write_u8(a_, {value})")
+    g.w(f"    {cell}[0] = aspace._last; {cell}[1] = aspace; "
+        f"{cell}[2] = aspace._epoch")
+    g.w("cyc += 2")
+    _wp_sync(g, width, "AKW")
+
+
+def _push(g: _Gen, value: str) -> None:
+    """push32 with the value expression pre-captured by the caller."""
+    g.w("regs[4] = (regs[4] - 4) & 4294967295")
+    g.w("a_ = regs[4]")
+    _store(g, 4, value)
+
+
+# -- EFLAGS algebra (width-4 only) ------------------------------------------
+# _ARITH_FLAGS = CF|PF|AF|ZF|SF|OF = 2261; inc/dec clear ZF|SF|OF = 2240.
+
+
+def _flags_add(g: _Gen) -> None:
+    g.w("t_ = va_ + vb_")
+    g.w("r_ = t_ & 4294967295")
+    g.w("ef = (ef & -2262) | (64 if r_ == 0 else 0)"
+        " | (128 if r_ & 2147483648 else 0)")
+    g.w("if t_ > 4294967295:")
+    g.w("    ef |= 1")
+    g.w("if (va_ ^ vb_ ^ 4294967295) & (va_ ^ r_) & 2147483648:")
+    g.w("    ef |= 2048")
+
+
+def _flags_sub(g: _Gen) -> None:
+    g.w("r_ = (va_ - vb_) & 4294967295")
+    g.w("ef = (ef & -2262) | (64 if r_ == 0 else 0)"
+        " | (128 if r_ & 2147483648 else 0)")
+    g.w("if va_ < vb_:")
+    g.w("    ef |= 1")
+    g.w("if (va_ ^ vb_) & (va_ ^ r_) & 2147483648:")
+    g.w("    ef |= 2048")
+
+
+def _flags_logic(g: _Gen) -> None:
+    g.w("ef = (ef & -2262) | (64 if r_ == 0 else 0)"
+        " | (128 if r_ & 2147483648 else 0)")
+
+
+def _alu_body(g: _Gen, op: int) -> bool:
+    """Emit the op on locals va_/vb_ into r_; True if r_ writes back."""
+    if op == 0:                                     # add
+        _flags_add(g)
+        return True
+    if op == 2:                                     # adc
+        g.w("vb_ = (vb_ + (ef & 1)) & 4294967295")
+        _flags_add(g)
+        return True
+    if op == 5:                                     # sub
+        _flags_sub(g)
+        return True
+    if op == 3:                                     # sbb
+        g.w("vb_ = (vb_ + (ef & 1)) & 4294967295")
+        _flags_sub(g)
+        return True
+    if op == 7:                                     # cmp
+        _flags_sub(g)
+        return False
+    if op == 4:
+        g.w("r_ = va_ & vb_")
+    elif op == 1:
+        g.w("r_ = va_ | vb_")
+    else:                                           # op == 6, xor
+        g.w("r_ = va_ ^ vb_")
+    _flags_logic(g)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# per-executor emitters.  Signature: (g, i, A, N, K) -> bool; A is the
+# instruction address, N the fall-through address, K the count of
+# instructions retired before this one.  Returning False (before
+# emitting anything!) falls back to a generic step.
+
+
+def _mem_ok(i) -> bool:
+    return i.seg in _SAFE_SEGS
+
+
+def _e_alu_rm_r(g, i, a, n, k) -> bool:
+    if i.width != 4:
+        return False
+    if i.rm_reg >= 0:
+        g.w(f"va_ = regs[{i.rm_reg}]")
+        g.w(f"vb_ = regs[{i.reg}]")
+        if _alu_body(g, i.op2):
+            g.w(f"regs[{i.rm_reg}] = r_")
+        return True
+    if not _mem_ok(i):
+        return False
+    g.entry(a, n, k)
+    g.w(f"a_ = {_ea_expr(i)}")
+    _load(g, 4)
+    g.w("va_ = v_")
+    g.w(f"vb_ = regs[{i.reg}]")
+    if _alu_body(g, i.op2):
+        _store(g, 4, "r_")
+    return True
+
+
+def _e_alu_r_rm(g, i, a, n, k) -> bool:
+    if i.width != 4:
+        return False
+    if i.rm_reg >= 0:
+        g.w(f"vb_ = regs[{i.rm_reg}]")
+    else:
+        if not _mem_ok(i):
+            return False
+        g.entry(a, n, k)
+        g.w(f"a_ = {_ea_expr(i)}")
+        _load(g, 4)
+        g.w("vb_ = v_")
+    g.w(f"va_ = regs[{i.reg}]")
+    if _alu_body(g, i.op2):
+        g.w(f"regs[{i.reg}] = r_")
+    return True
+
+
+def _e_alu_a_imm(g, i, a, n, k) -> bool:
+    if i.width != 4:
+        return False
+    g.w("va_ = regs[0]")
+    g.w(f"vb_ = {i.imm & M}")
+    if _alu_body(g, i.op2):
+        g.w("regs[0] = r_")
+    return True
+
+
+def _e_grp1_rm_imm(g, i, a, n, k) -> bool:
+    if i.width != 4:
+        return False
+    if i.rm_reg >= 0:
+        g.w(f"va_ = regs[{i.rm_reg}]")
+        g.w(f"vb_ = {i.imm & M}")
+        if _alu_body(g, i.op2):
+            g.w(f"regs[{i.rm_reg}] = r_")
+        return True
+    if not _mem_ok(i):
+        return False
+    g.entry(a, n, k)
+    g.w(f"a_ = {_ea_expr(i)}")
+    _load(g, 4)
+    g.w("va_ = v_")
+    g.w(f"vb_ = {i.imm & M}")
+    if _alu_body(g, i.op2):
+        _store(g, 4, "r_")
+    return True
+
+
+def _e_test_rm_r(g, i, a, n, k) -> bool:
+    if i.width != 4:
+        return False
+    if i.rm_reg >= 0:
+        g.w(f"r_ = regs[{i.rm_reg}] & regs[{i.reg}]")
+    else:
+        if not _mem_ok(i):
+            return False
+        g.entry(a, n, k)
+        g.w(f"a_ = {_ea_expr(i)}")
+        _load(g, 4)
+        g.w(f"r_ = v_ & regs[{i.reg}]")
+    _flags_logic(g)
+    return True
+
+
+def _e_test_a_imm(g, i, a, n, k) -> bool:
+    if i.width != 4:
+        return False
+    g.w(f"r_ = regs[0] & {i.imm & M}")
+    _flags_logic(g)
+    return True
+
+
+def _e_mov_rm_r(g, i, a, n, k) -> bool:
+    if i.width != 4:
+        return False
+    if i.rm_reg >= 0:
+        g.w(f"regs[{i.rm_reg}] = regs[{i.reg}]")
+        return True
+    if not _mem_ok(i):
+        return False
+    g.entry(a, n, k)
+    g.w(f"a_ = {_ea_expr(i)}")
+    _store(g, 4, f"regs[{i.reg}]")
+    return True
+
+
+def _e_mov_r_rm(g, i, a, n, k) -> bool:
+    if i.width != 4:
+        return False
+    if i.rm_reg >= 0:
+        g.w(f"regs[{i.reg}] = regs[{i.rm_reg}]")
+        return True
+    if not _mem_ok(i):
+        return False
+    g.entry(a, n, k)
+    g.w(f"a_ = {_ea_expr(i)}")
+    _load(g, 4)
+    g.w(f"regs[{i.reg}] = v_")
+    return True
+
+
+def _e_mov_r_imm(g, i, a, n, k) -> bool:
+    if i.width != 4:
+        return False
+    g.w(f"regs[{i.reg}] = {i.imm & M}")
+    return True
+
+
+def _e_mov_rm_imm(g, i, a, n, k) -> bool:
+    if i.width != 4:
+        return False
+    if i.rm_reg >= 0:
+        g.w(f"regs[{i.rm_reg}] = {i.imm & M}")
+        return True
+    if not _mem_ok(i):
+        return False
+    g.entry(a, n, k)
+    g.w(f"a_ = {_ea_expr(i)}")
+    _store(g, 4, str(i.imm & M))
+    return True
+
+
+def _partial_read(i, sw: int) -> str:
+    if sw == 2:
+        return f"regs[{i.rm_reg}] & 65535"
+    if i.rm_reg < 4:
+        return f"regs[{i.rm_reg}] & 255"
+    return f"(regs[{i.rm_reg - 4}] >> 8) & 255"
+
+
+def _e_movzx(g, i, a, n, k) -> bool:
+    sw = i.op2
+    if sw not in (1, 2):
+        return False
+    if i.rm_reg >= 0:
+        g.w(f"regs[{i.reg}] = {_partial_read(i, sw)}")
+        return True
+    if not _mem_ok(i):
+        return False
+    g.entry(a, n, k)
+    g.w(f"a_ = {_ea_expr(i)}")
+    _load(g, sw)
+    g.w(f"regs[{i.reg}] = v_")
+    return True
+
+
+def _e_movsx(g, i, a, n, k) -> bool:
+    sw = i.op2
+    if sw not in (1, 2):
+        return False
+    if i.rm_reg >= 0:
+        g.w(f"v_ = {_partial_read(i, sw)}")
+    else:
+        if not _mem_ok(i):
+            return False
+        g.entry(a, n, k)
+        g.w(f"a_ = {_ea_expr(i)}")
+        _load(g, sw)
+    if sw == 1:
+        g.w(f"regs[{i.reg}] = (v_ | 4294967040) if v_ & 128 else v_")
+    else:
+        g.w(f"regs[{i.reg}] = (v_ | 4294901760) if v_ & 32768 else v_")
+    return True
+
+
+def _e_lea(g, i, a, n, k) -> bool:
+    if i.rm_reg >= 0:
+        return False                    # faults #UD — keep generic
+    g.w(f"regs[{i.reg}] = {_ea_expr(i)}")
+    return True
+
+
+def _e_xchg_eax_r(g, i, a, n, k) -> bool:
+    g.w("v_ = regs[0]")
+    g.w(f"regs[0] = regs[{i.reg}]")
+    g.w(f"regs[{i.reg}] = v_")
+    return True
+
+
+def _e_cdq(g, i, a, n, k) -> bool:
+    g.w("regs[2] = 4294967295 if regs[0] & 2147483648 else 0")
+    return True
+
+
+def _e_cwde(g, i, a, n, k) -> bool:
+    g.w("v_ = regs[0] & 65535")
+    g.w("regs[0] = (v_ | 4294901760) if v_ & 32768 else v_")
+    return True
+
+
+def _e_nop(g, i, a, n, k) -> bool:
+    return True
+
+
+def _e_clc(g, i, a, n, k) -> bool:
+    g.w("ef &= -2")
+    return True
+
+
+def _e_push_r(g, i, a, n, k) -> bool:
+    g.entry(a, n, k)
+    g.w(f"v_ = regs[{i.reg}]")
+    _push(g, "v_")
+    return True
+
+
+def _e_push_imm(g, i, a, n, k) -> bool:
+    g.entry(a, n, k)
+    _push(g, str(i.imm & M))
+    return True
+
+
+def _e_pushfd(g, i, a, n, k) -> bool:
+    g.entry(a, n, k)
+    _push(g, "ef")
+    return True
+
+
+def _e_pop_r(g, i, a, n, k) -> bool:
+    g.entry(a, n, k)
+    g.w("a_ = regs[4]")
+    _load(g, 4)
+    g.w("regs[4] = (regs[4] + 4) & 4294967295")
+    g.w(f"regs[{i.reg}] = v_")
+    return True
+
+
+def _e_leave(g, i, a, n, k) -> bool:
+    g.entry(a, n, k)
+    g.w("regs[4] = regs[5]")
+    g.w("a_ = regs[4]")
+    _load(g, 4)
+    g.w("regs[4] = (regs[4] + 4) & 4294967295")
+    g.w("regs[5] = v_")
+    return True
+
+
+def _e_inc_r(g, i, a, n, k) -> bool:
+    g.w(f"r_ = (regs[{i.reg}] + 1) & 4294967295")
+    g.w(f"regs[{i.reg}] = r_")
+    g.w("ef = (ef & -2241) | (64 if r_ == 0 else 0)"
+        " | (128 if r_ & 2147483648 else 0)"
+        " | (2048 if r_ == 2147483648 else 0)")
+    return True
+
+
+def _e_dec_r(g, i, a, n, k) -> bool:
+    g.w(f"r_ = (regs[{i.reg}] - 1) & 4294967295")
+    g.w(f"regs[{i.reg}] = r_")
+    g.w("ef = (ef & -2241) | (64 if r_ == 0 else 0)"
+        " | (128 if r_ & 2147483648 else 0)"
+        " | (2048 if r_ == 2147483647 else 0)")
+    return True
+
+
+# -- block-final branches ----------------------------------------------------
+
+_COND_EXPRS = [
+    "ef & 2048",                                           # o
+    "not ef & 2048",                                       # no
+    "ef & 1",                                              # b
+    "not ef & 1",                                          # ae
+    "ef & 64",                                             # e
+    "not ef & 64",                                         # ne
+    "ef & 65",                                             # be
+    "not ef & 65",                                         # a
+    "ef & 128",                                            # s
+    "not ef & 128",                                        # ns
+    "ef & 4",                                              # p
+    "not ef & 4",                                          # np
+    "((ef >> 7) ^ (ef >> 11)) & 1",                        # l
+    "not ((ef >> 7) ^ (ef >> 11)) & 1",                    # ge
+    "ef & 64 or ((ef >> 7) ^ (ef >> 11)) & 1",             # le
+    "not (ef & 64 or ((ef >> 7) ^ (ef >> 11)) & 1)",       # g
+]
+
+
+def _e_jcc(g, i, a, n, k) -> bool:
+    target = (n + i.imm) & M
+    g.w(f"if {_COND_EXPRS[i.op2]}:")
+    g.w(f"    cpu.eip = {target}")
+    g.w("    cyc += 2")
+    g.w("else:")
+    g.w(f"    cpu.eip = {n}")
+    g.eip_done = True
+    return True
+
+
+def _e_jmp_rel(g, i, a, n, k) -> bool:
+    g.w(f"cpu.eip = {(n + i.imm) & M}")
+    g.w("cyc += 2")
+    g.eip_done = True
+    return True
+
+
+def _e_call_rel(g, i, a, n, k) -> bool:
+    g.entry(a, n, k)
+    _push(g, str(n))
+    g.w(f"cpu.eip = {(n + i.imm) & M}")
+    g.w("cyc += 2")
+    g.eip_done = True
+    return True
+
+
+def _e_ret(g, i, a, n, k) -> bool:
+    g.entry(a, n, k)
+    g.w("a_ = regs[4]")
+    _load(g, 4)
+    g.w("regs[4] = (regs[4] + 4) & 4294967295")
+    g.w("cpu.eip = v_")
+    g.w("cyc += 2")
+    if i.imm:
+        g.w(f"regs[4] = (regs[4] + {i.imm & M}) & 4294967295")
+    g.eip_done = True
+    return True
+
+
+_INLINE: Dict[Callable, Callable] = {
+    xdec.exec_alu_rm_r: _e_alu_rm_r,
+    xdec.exec_alu_r_rm: _e_alu_r_rm,
+    xdec.exec_alu_a_imm: _e_alu_a_imm,
+    xdec.exec_grp1_rm_imm: _e_grp1_rm_imm,
+    xdec.exec_test_rm_r: _e_test_rm_r,
+    xdec.exec_test_a_imm: _e_test_a_imm,
+    xdec.exec_mov_rm_r: _e_mov_rm_r,
+    xdec.exec_mov_r_rm: _e_mov_r_rm,
+    xdec.exec_mov_r_imm: _e_mov_r_imm,
+    xdec.exec_mov_rm_imm: _e_mov_rm_imm,
+    xdec.exec_movzx: _e_movzx,
+    xdec.exec_movsx: _e_movsx,
+    xdec.exec_lea: _e_lea,
+    xdec.exec_xchg_eax_r: _e_xchg_eax_r,
+    xdec.exec_cdq: _e_cdq,
+    xdec.exec_cwde: _e_cwde,
+    xdec.exec_nop: _e_nop,
+    xdec.exec_clc: _e_clc,
+    xdec.exec_push_r: _e_push_r,
+    xdec.exec_push_imm: _e_push_imm,
+    xdec.exec_pushfd: _e_pushfd,
+    xdec.exec_pop_r: _e_pop_r,
+    xdec.exec_leave: _e_leave,
+    xdec.exec_inc_r: _e_inc_r,
+    xdec.exec_dec_r: _e_dec_r,
+}
+
+_INLINE_FINAL: Dict[Callable, Callable] = {
+    xdec.exec_jcc: _e_jcc,
+    xdec.exec_jmp_rel: _e_jmp_rel,
+    xdec.exec_call_rel: _e_call_rel,
+    xdec.exec_ret: _e_ret,
+}
+
+
+def _emit_generic(g: _Gen, i, a: int, n: int, k: int, final: bool) -> None:
+    g.entry(a, n, k)
+    fn = g.bind("f", i.execute)
+    obj = g.bind("i", i)
+    g.w("cpu.current_eip = cur")
+    g.w("cpu.eip = nxt")
+    g.w("cpu.cycles = cyc")
+    g.w(f"cpu.instret = ins + {k}")
+    g.w("cpu.eflags = ef")
+    g.w("synced = True")
+    g.w(f"{fn}(cpu, {obj})")
+    if final:
+        g.w(f"cpu.cycles += {i.cycles}")
+        g.w(f"cpu.instret = ins + {k + 1}")
+        g.w("return")
+        g.returned = True
+    else:
+        g.w(f"cyc = cpu.cycles + {i.cycles}")
+        g.w("ef = cpu.eflags")
+        g.w("synced = False")
+    g.max_cycles += i.cycles + GENERIC_SLACK
+
+
+# ---------------------------------------------------------------------------
+
+
+def generate(nodes: List[Tuple[int, object]], ends_hard: bool):
+    """Compile ``nodes`` ([(addr, instr), ...]) into (fn, max_cycles).
+
+    ``ends_hard`` marks the last instruction as a terminator/system
+    instruction (it controls eip itself or must run generically as the
+    final step)."""
+    g = _Gen()
+    start = nodes[0][0]
+    n0 = (start + nodes[0][1].length) & M
+    total = len(nodes)
+    for k, (a, instr) in enumerate(nodes):
+        n = (a + instr.length) & M
+        last = k == total - 1
+        if last and ends_hard:
+            emitter = _INLINE_FINAL.get(instr.execute)
+            if emitter is not None and emitter(g, instr, a, n, k):
+                g.pend += instr.cycles
+                g.max_cycles += instr.cycles + INLINE_SLACK
+            else:
+                _emit_generic(g, instr, a, n, k, final=True)
+        else:
+            emitter = _INLINE.get(instr.execute)
+            if emitter is not None and emitter(g, instr, a, n, k):
+                g.pend += instr.cycles
+                g.max_cycles += instr.cycles + INLINE_SLACK
+            else:
+                _emit_generic(g, instr, a, n, k, final=False)
+    last_a, last_i = nodes[-1]
+    if not g.returned:
+        g.flush()
+        g.w("cpu.cycles = cyc")
+        g.w(f"cpu.instret = ins + {total}")
+        g.w("cpu.eflags = ef")
+        g.w(f"cpu.current_eip = {last_a}")
+        if not g.eip_done:
+            g.w(f"cpu.eip = {(last_a + last_i.length) & M}")
+    src = "\n".join([
+        "def _block(cpu):",
+        "    regs = cpu.regs",
+        "    mem = cpu.mem",
+        "    pages = mem._pages",
+        "    shared_ = mem._shared",
+        "    aspace = cpu.aspace",
+        "    debug = cpu.debug",
+        "    cyc = cpu.cycles",
+        "    ins = cpu.instret",
+        "    ef = cpu.eflags",
+        f"    cur = {start}",
+        f"    nxt = {n0}",
+        "    ri = 0",
+        "    synced = False",
+        "    try:",
+    ] + g.lines + [
+        "        pass",
+        "    except BaseException:",
+        "        if not synced:",
+        "            cpu.cycles = cyc",
+        "            cpu.instret = ins + ri",
+        "            cpu.eflags = ef",
+        "            cpu.current_eip = cur",
+        "            cpu.eip = nxt",
+        "        raise",
+    ])
+    code = compile(src, f"<x86-block@{start:#x}>", "exec")
+    exec(code, g.ns)
+    return g.ns["_block"], g.max_cycles

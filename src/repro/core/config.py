@@ -73,6 +73,9 @@ class StudyConfig:
     #: "dead" redraws code targets the static analyzer proves inert
     #: (applies to the code campaigns only; see repro.static)
     prune: str = "none"
+    #: execution core for every campaign machine ("block" | "step");
+    #: results are bit-identical either way (see repro.compile)
+    exec_mode: str = "block"
     overrides: Dict[str, Dict[CampaignKind, int]] = field(
         default_factory=dict)
 

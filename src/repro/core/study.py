@@ -62,7 +62,8 @@ class Study:
             # pruning is a code-campaign concept; other kinds always
             # run unpruned so their identities stay policy-free
             prune=config.prune if kind is CampaignKind.CODE
-            else "none")
+            else "none",
+            exec_mode=config.exec_mode)
 
     def _store(self, store=None):
         """Resolve *store* (path or CampaignStore) or the config's."""

@@ -48,8 +48,15 @@ class CampaignConfig:
     #: static analyzer proves inert (decode-identical flips and
     #: unreachable code); code campaigns only
     prune: str = "none"
+    #: execution core for every experiment machine ("block" | "step");
+    #: bit-identical results either way, "block" is just faster
+    exec_mode: str = "block"
 
     def __post_init__(self):
+        if self.exec_mode not in ("step", "block"):
+            raise ValueError(
+                f"exec_mode must be 'step' or 'block', "
+                f"got {self.exec_mode!r}")
         if self.prune not in PRUNE_POLICIES:
             raise ValueError(f"unknown prune policy {self.prune!r}; "
                              f"expected one of {PRUNE_POLICIES}")
@@ -224,7 +231,8 @@ class Campaign:
             target=target,
             ops=config.ops,
             seed=config.seed + index * 7919,
-            dump_loss_probability=config.dump_loss_probability)
+            dump_loss_probability=config.dump_loss_probability,
+            exec_mode=config.exec_mode)
 
     def run_target(self, index: int, target) -> InjectionResult:
         """Run one pre-generated target.
@@ -278,9 +286,10 @@ class Campaign:
 def run_campaign(arch: str, kind: CampaignKind, count: int,
                  seed: int = 0, ops: int = 48,
                  workers: int = 1, store=None, resume: bool = False,
-                 progress=None, prune: str = "none") -> CampaignResult:
+                 progress=None, prune: str = "none",
+                 exec_mode: str = "block") -> CampaignResult:
     """One-call convenience wrapper."""
     config = CampaignConfig(arch=arch, kind=kind, count=count, seed=seed,
-                            ops=ops, prune=prune)
+                            ops=ops, prune=prune, exec_mode=exec_mode)
     return Campaign(config).run(workers=workers, store=store,
                                 resume=resume, progress=progress)

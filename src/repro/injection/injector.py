@@ -48,6 +48,7 @@ class RunSpec:
     ops: int
     seed: int
     dump_loss_probability: float = 0.08
+    exec_mode: str = "block"
 
 
 class InjectionRun:
@@ -58,7 +59,8 @@ class InjectionRun:
         self.collector = CrashDataCollector()
         config = MachineConfig(
             seed=spec.seed,
-            dump_loss_probability=spec.dump_loss_probability)
+            dump_loss_probability=spec.dump_loss_probability,
+            exec_mode=spec.exec_mode)
         self.machine = spec.base_machine.fork(
             config=config, collector=self.collector.receive)
         # clone() once per distinct program object, keeping any

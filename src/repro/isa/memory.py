@@ -233,6 +233,9 @@ class AddressSpace:
     _regions: List[Region] = field(default_factory=list)
     #: most-recently matched region (accesses are highly local)
     _last: Optional[Region] = field(default=None, repr=False)
+    #: bumped on every layout change; external caches of resolved
+    #: regions (repro.compile's per-site fast paths) key on it
+    _epoch: int = 0
 
     def map_region(self, region: Region) -> None:
         index = bisect.bisect_left(self._starts, region.start)
@@ -248,6 +251,7 @@ class AddressSpace:
         self._starts.insert(index, region.start)
         self._regions.insert(index, region)
         self._last = None
+        self._epoch += 1
 
     def clone_layout(self, source: "AddressSpace") -> None:
         """Adopt *source*'s region table wholesale (fork fast path).
@@ -260,6 +264,7 @@ class AddressSpace:
         self._starts = list(source._starts)
         self._regions = list(source._regions)
         self._last = None
+        self._epoch += 1
 
     def unmap_region(self, name: str) -> None:
         for index, region in enumerate(self._regions):
@@ -267,6 +272,7 @@ class AddressSpace:
                 del self._regions[index]
                 del self._starts[index]
                 self._last = None
+                self._epoch += 1
                 return
         raise MemoryError_(f"no region named {name}")
 

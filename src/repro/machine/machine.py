@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.compile import BlockCache, lookup_block
 from repro.isa.memory import Region
 from repro.kcc.linker import KernelImage
 from repro.kernel.build import build_kernel
@@ -74,6 +75,9 @@ class MachineConfig:
     watchdog_cycles: int = 600_000_000
     #: pad each timer quantum to the full 10ms tick
     pad_quanta: bool = True
+    #: execution core: "block" runs compiled superblocks with a
+    #: single-step fallback, "step" is the plain interpreter
+    exec_mode: str = "block"
 
 
 @dataclass
@@ -137,6 +141,13 @@ class Machine:
         # flight recorder (repro.trace): None = tracing disabled; set
         # through attach_tracer() only, mirrored into cpu.tracer
         self.trace = None
+
+        if self.config.exec_mode not in ("step", "block"):
+            raise ValueError(
+                f"exec_mode must be 'step' or 'block', "
+                f"got {self.config.exec_mode!r}")
+        if self.config.exec_mode == "block":
+            self.cpu._block_cache = BlockCache()
 
         self._map_memory()
         if arch == "ppc":
@@ -266,6 +277,12 @@ class Machine:
         clone._pending_action = None
         clone._expected = dict(self._expected)
         clone.trace = None               # tracing never inherits
+
+        if clone.config.exec_mode == "block":
+            cache = BlockCache()
+            if not eager and self.cpu._block_cache is not None:
+                cache.inherit(self.cpu._block_cache)
+            clone.cpu._block_cache = cache
 
         # memory: eager baseline copies touched pages and replays the
         # region mapping (COW shares pages above and adopts the
@@ -418,8 +435,23 @@ class Machine:
             cpu.pc = entry
 
         steps = 0
+        is_x86 = self.arch == "x86"
+        # Compiled-block fast path.  Tracing observes every fetch and
+        # memory access, so an armed recorder (or a CPU-level tracer)
+        # forces the step core; block boundaries are otherwise
+        # unobservable because dispatch only runs a block when the
+        # budget/pending-action/watchdog checks could not fire inside
+        # it (the guards below are sufficient, not just heuristics).
+        cache = cpu._block_cache
+        use_blocks = (cache is not None and self.trace is None
+                      and cpu.tracer is None)
+        if use_blocks:
+            hot = cache.hot
+            debug = cpu.debug
+            wd = self.watchdog
+            arch, image = self.arch, self.image
         while True:
-            if self.arch == "x86":
+            if is_x86:
                 if cpu.eip == STOP_SENTINEL:
                     return cpu.regs[0]
             elif cpu.pc == STOP_SENTINEL:
@@ -428,6 +460,34 @@ class Machine:
             if pending is not None and cpu.instret >= pending[0]:
                 self._pending_action = None
                 pending[1]()
+                pending = self._pending_action   # may have rescheduled
+            if use_blocks and not cpu.halted and not debug._insn_bps:
+                if is_x86:
+                    addr = cpu.eip
+                    fetch_ok = cpu.aspace.translation_on
+                else:
+                    addr = cpu.pc & 0xFFFFFFFC
+                    fetch_ok = cpu._high_fetch_fault is None
+                if fetch_ok:
+                    blk = hot.get(addr)
+                    if blk is None:
+                        blk = lookup_block(cpu, cache, addr, arch, image)
+                    if (blk is not None and blk.fn is not None
+                            and steps + blk.n <= budget
+                            and (pending is None
+                                 or pending[0] - cpu.instret >= blk.n)
+                            and cpu.cycles + blk.max_cycles
+                                - wd._last_pet <= wd.timeout_cycles):
+                        base = cpu.instret
+                        try:
+                            blk.fn(cpu)
+                        except (X86Fault, PPCFault) as fault:
+                            steps += cpu.instret - base
+                            if self._fault_is_benign(fault):
+                                continue
+                            self._crash(fault)
+                        steps += blk.n
+                        continue
             try:
                 cpu.step()
             except (X86Fault, PPCFault) as fault:

@@ -104,6 +104,9 @@ class PPCCPU:
         self._icache_version = 0
         self._snapshot: Optional[Dict[int, PPCInstr]] = None
         self._snapshot_version = -1
+        # compiled-block cache (attached by Machine in block exec mode);
+        # None means the step core runs alone
+        self._block_cache = None
 
     # ------------------------------------------------------------------
     # condition register helpers
@@ -286,6 +289,8 @@ class PPCCPU:
         self._icache_warm = {}
         self._warm_owned = True
         self._icache_version += 1
+        if self._block_cache is not None:
+            self._block_cache.flush()
 
     def _own_warm(self) -> Dict[int, PPCInstr]:
         if not self._warm_owned:
@@ -311,6 +316,8 @@ class PPCCPU:
             warm.update(self._icache)
             self._icache.clear()
         self._icache_version += 1
+        if self._block_cache is not None:
+            self._block_cache.invalidate(addr, size)
 
     def icache_snapshot(self) -> Dict[int, PPCInstr]:
         """A frozen warm-tier image for a fork child (never mutated).

@@ -114,7 +114,12 @@ class Replayer:
             ops=self.manifest.ops,
             dump_loss_probability=self.manifest.dump_loss_probability,
             profile_coverage=self.manifest.profile_coverage,
-            prune=self.manifest.prune)
+            prune=self.manifest.prune,
+            # replay always single-steps: the dissector reasons about
+            # per-instruction trace events, and a recorder forces the
+            # step core anyway — exec_mode is not part of campaign
+            # identity, so this never contradicts the manifest
+            exec_mode="step")
         from repro.store import journal as journal_mod
         try:
             report = journal_mod.replay(directory / JOURNAL_NAME,

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
-from repro.machine.machine import Machine
+from repro.machine.machine import Machine, MachineConfig
 from repro.workload.driver import UnixBenchDriver
 
 #: (instret, addr, width, kind) where kind is "r" or "w"
@@ -147,7 +147,9 @@ def _instrument(machine: Machine, accesses: List[AccessRecord],
 def probe_clean_run(arch: str, seed: int = 0, ops: int = 60
                     ) -> CleanRunProbe:
     """Run the workload once, instrumented, and record everything."""
-    machine = Machine(arch)
+    # the instrumentation wraps cpu.load/store/step, which compiled
+    # blocks bypass — the probe must observe every single instruction
+    machine = Machine(arch, config=MachineConfig(exec_mode="step"))
     accesses: List[AccessRecord] = []
     executed: Set[int] = set()
     _instrument(machine, accesses, executed)

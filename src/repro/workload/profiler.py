@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.machine.machine import Machine
+from repro.machine.machine import Machine, MachineConfig
 from repro.workload.driver import UnixBenchDriver
 
 
@@ -44,7 +44,9 @@ class FunctionProfile:
 def profile_kernel(arch: str, seed: int = 0, ops: int = 60,
                    sample_every: int = 23) -> FunctionProfile:
     """Sample the PC during a clean run and attribute to functions."""
-    machine = Machine(arch)
+    # PC sampling wraps cpu.step, which compiled blocks bypass — the
+    # profiler must single-step to see every instruction boundary
+    machine = Machine(arch, config=MachineConfig(exec_mode="step"))
     cpu = machine.cpu
     image = machine.image
 

@@ -101,6 +101,9 @@ class X86CPU:
         self._icache_version = 0
         self._snapshot: Optional[Dict[int, Instr]] = None
         self._snapshot_version = -1
+        # compiled-block cache (attached by Machine in block exec mode);
+        # None means the step core runs alone
+        self._block_cache = None
 
     # ------------------------------------------------------------------
     # register access helpers
@@ -357,6 +360,8 @@ class X86CPU:
         self._icache_warm = {}
         self._warm_owned = True
         self._icache_version += 1
+        if self._block_cache is not None:
+            self._block_cache.flush()
 
     def _own_warm(self) -> Dict[int, Instr]:
         if not self._warm_owned:
@@ -382,6 +387,8 @@ class X86CPU:
             warm.update(self._icache)
             self._icache.clear()
         self._icache_version += 1
+        if self._block_cache is not None:
+            self._block_cache.invalidate(addr, size)
 
     def icache_snapshot(self) -> Dict[int, Instr]:
         """A frozen warm-tier image for a fork child (never mutated).

@@ -44,20 +44,41 @@ def _digest(result) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def _run_and_check(key, workers, exec_mode, x86_context, ppc_context):
+    arch, kind_name = key.split("/")
+    recorded = DIGESTS[key]
+    config = CampaignConfig(arch=arch, kind=_KINDS[kind_name],
+                            count=recorded["count"],
+                            seed=recorded["seed"], ops=recorded["ops"],
+                            exec_mode=exec_mode)
+    context = x86_context if arch == "x86" else ppc_context
+    result = Campaign(config, context).run(workers=workers)
+    assert result.injected == recorded["count"]
+    assert not result.failures
+    assert _digest(result) == recorded["sha256"], (
+        f"{key} (workers={workers}, exec_mode={exec_mode}) diverged "
+        f"from the pre-COW recording")
+
+
 @pytest.mark.parametrize(
     "key", sorted(DIGESTS),
     ids=[key.replace("/", "-") for key in sorted(DIGESTS)])
 @pytest.mark.parametrize("workers", [1, 2],
                          ids=["serial", "workers2"])
 def test_matches_pre_cow_digest(key, workers, x86_context, ppc_context):
-    arch, kind_name = key.split("/")
-    recorded = DIGESTS[key]
-    config = CampaignConfig(arch=arch, kind=_KINDS[kind_name],
-                            count=recorded["count"],
-                            seed=recorded["seed"], ops=recorded["ops"])
-    context = x86_context if arch == "x86" else ppc_context
-    result = Campaign(config, context).run(workers=workers)
-    assert result.injected == recorded["count"]
-    assert not result.failures
-    assert _digest(result) == recorded["sha256"], (
-        f"{key} (workers={workers}) diverged from the pre-COW recording")
+    """All eight arch/kind combos under the compiled-block core (the
+    default).  The digests were recorded under the single-step core, so
+    a match here is also an end-to-end block-vs-step equivalence proof
+    across every campaign path (injection hooks, forks, watchpoints,
+    crash classification)."""
+    _run_and_check(key, workers, "block", x86_context, ppc_context)
+
+
+@pytest.mark.parametrize(
+    "key", sorted(DIGESTS),
+    ids=[key.replace("/", "-") for key in sorted(DIGESTS)])
+def test_step_mode_still_matches(key, x86_context, ppc_context):
+    """The single-step core remains pinned to the same digests, so a
+    block-core bug cannot hide behind a matching step-core bug (and
+    ``exec_mode`` demonstrably never enters campaign identity)."""
+    _run_and_check(key, 1, "step", x86_context, ppc_context)

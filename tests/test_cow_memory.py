@@ -205,3 +205,251 @@ class TestIcacheInvalidation:
         sibling = base.fork()
         assert sibling.cpu._icache == {}
         assert set(sibling.cpu._icache_warm) >= set(base.cpu._icache)
+
+
+# ---------------------------------------------------------------------------
+# self-modifying code vs the compiled-block cache
+
+
+TEXT = 0xC0100000
+DATA = 0xC0300000
+
+
+def _bare_cpu(arch):
+    from repro.isa.memory import Region
+    if arch == "x86":
+        from repro.x86.cpu import X86CPU
+        cpu = X86CPU()
+        cpu.eip = TEXT
+    else:
+        from repro.ppc.cpu import PPCCPU
+        cpu = PPCCPU()
+        cpu.pc = TEXT
+    cpu.aspace.map_region(Region(TEXT, 0x1000, "rx", "text"))
+    cpu.aspace.map_region(Region(DATA, 0x1000, "rwx", "data"))
+    return cpu
+
+
+def _dispatch(cpu, cache, arch):
+    """One machine-dispatch iteration: hot hit or lookup, then run."""
+    from repro.compile import lookup_block
+    addr = cpu.eip if arch == "x86" else cpu.pc & 0xFFFFFFFC
+    blk = cache.hot.get(addr)
+    if blk is None:
+        blk = lookup_block(cpu, cache, addr, arch, None)
+    assert blk is not None and blk.fn is not None
+    blk.fn(cpu)
+    return blk
+
+
+class TestBlockCacheSMC:
+    """Text writes must evict exactly the compiled blocks they can
+    corrupt — and execution after the write must follow the new bytes,
+    never a stale compiled closure."""
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_write_inside_compiled_block_reexecutes(self, arch):
+        """Patch a non-leader instruction of an already-compiled (and
+        already-executed) block; the next dispatch must recompile and
+        produce the patched result."""
+        from repro.compile import BlockCache
+        cpu = _bare_cpu(arch)
+        cache = BlockCache()
+        cpu._block_cache = cache
+        if arch == "x86":
+            from repro.x86.assembler import X86Assembler
+            asm = X86Assembler()
+            asm.mov_r_imm(0, 1)
+            asm.mov_r_imm(1, 2)                # patch target
+            asm.alu_r_rm("add", 0, 1)
+            asm.hlt()
+            cpu.mem.write(TEXT, asm.finish())
+            patch_at = TEXT + asm.insn_offsets[1] + 1   # B9 imm32
+            blk = _dispatch(cpu, cache, arch)
+            assert cpu.regs[0] == 3 and blk.n == 4
+            cpu.mem.write_u8(patch_at, 40)
+            cpu.invalidate_icache(patch_at, 1)
+        else:
+            from repro.ppc.assembler import PPCAssembler
+            asm = PPCAssembler()
+            asm.li(3, 1)
+            asm.li(4, 2)                       # patch target
+            asm.add(5, 3, 4)
+            spin = asm.new_label("spin")
+            asm.label(spin)
+            asm.b_label(spin)
+            cpu.mem.write(TEXT, asm.finish())
+            patch_at = TEXT + 4
+            blk = _dispatch(cpu, cache, arch)
+            assert cpu.gpr[5] == 3 and blk.n == 4
+            word = cpu.mem.read_u32(patch_at, False)
+            cpu.mem.write_u32(patch_at, (word & 0xFFFF0000) | 40, False)
+            cpu.invalidate_icache(patch_at, 4)
+        # the block overlapping the write is gone from both tiers
+        assert TEXT not in cache.hot and TEXT not in cache.warm
+        if arch == "x86":
+            cpu.eip = TEXT
+            cpu.regs[0] = cpu.regs[1] = 0
+            cpu.halted = False
+            _dispatch(cpu, cache, arch)
+            assert cpu.regs[0] == 41
+        else:
+            cpu.pc = TEXT
+            cpu.gpr[3] = cpu.gpr[4] = cpu.gpr[5] = 0
+            _dispatch(cpu, cache, arch)
+            assert cpu.gpr[5] == 41
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_write_at_block_leader_reexecutes(self, arch):
+        """Patch the first instruction (the block's cache key address)."""
+        from repro.compile import BlockCache
+        cpu = _bare_cpu(arch)
+        cache = BlockCache()
+        cpu._block_cache = cache
+        if arch == "x86":
+            from repro.x86.assembler import X86Assembler
+            asm = X86Assembler()
+            asm.mov_r_imm(2, 7)                # patch target (leader)
+            asm.inc_r(2)
+            asm.hlt()
+            cpu.mem.write(TEXT, asm.finish())
+            _dispatch(cpu, cache, arch)
+            assert cpu.regs[2] == 8
+            cpu.mem.write_u8(TEXT + 1, 90)     # BA imm32 low byte
+            cpu.invalidate_icache(TEXT + 1, 1)
+            assert TEXT not in cache.hot and TEXT not in cache.warm
+            cpu.eip = TEXT
+            cpu.regs[2] = 0
+            cpu.halted = False
+            _dispatch(cpu, cache, arch)
+            assert cpu.regs[2] == 91
+        else:
+            from repro.ppc.assembler import PPCAssembler
+            asm = PPCAssembler()
+            asm.li(6, 7)                       # patch target (leader)
+            asm.addi(6, 6, 1)
+            spin = asm.new_label("spin")
+            asm.label(spin)
+            asm.b_label(spin)
+            cpu.mem.write(TEXT, asm.finish())
+            _dispatch(cpu, cache, arch)
+            assert cpu.gpr[6] == 8
+            word = cpu.mem.read_u32(TEXT, False)
+            cpu.mem.write_u32(TEXT, (word & 0xFFFF0000) | 90, False)
+            cpu.invalidate_icache(TEXT, 4)
+            assert TEXT not in cache.hot and TEXT not in cache.warm
+            cpu.pc = TEXT
+            cpu.gpr[6] = 0
+            _dispatch(cpu, cache, arch)
+            assert cpu.gpr[6] == 91
+
+    def test_write_across_block_boundary_evicts_both_x86(self):
+        """A multi-byte write straddling the end of one block and the
+        start of the next (an x86 instruction can span the boundary)
+        must evict both."""
+        from repro.compile import BlockCache
+        from repro.x86.assembler import X86Assembler
+        cpu = _bare_cpu("x86")
+        cache = BlockCache()
+        cpu._block_cache = cache
+        asm = X86Assembler()
+        asm.mov_r_imm(0, 1)
+        second = asm.new_label("second")
+        asm.jmp_label(second)                  # terminator: ends block A
+        asm.label(second)
+        asm.mov_r_imm(1, 2)
+        asm.hlt()
+        cpu.mem.write(TEXT, asm.finish())
+        blk_a = _dispatch(cpu, cache, "x86")
+        blk_b = _dispatch(cpu, cache, "x86")
+        assert blk_a.end == blk_b.start, "blocks should be adjacent"
+        boundary = blk_a.end
+        # 2-byte write covering [boundary-1, boundary+1)
+        cpu.invalidate_icache(boundary - 1, 2)
+        for addr in (blk_a.start, blk_b.start):
+            assert addr not in cache.hot and addr not in cache.warm
+
+    def test_write_across_block_boundary_evicts_both_ppc(self):
+        """Word-granular PPC case: a 4-byte-aligned store overlapping
+        the last word of block A and (conceptually) the first of B."""
+        from repro.compile import BlockCache
+        from repro.ppc.assembler import PPCAssembler
+        cpu = _bare_cpu("ppc")
+        cache = BlockCache()
+        cpu._block_cache = cache
+        asm = PPCAssembler()
+        asm.li(3, 1)
+        second = asm.new_label("second")
+        asm.b_label(second)                    # terminator: ends block A
+        asm.label(second)
+        asm.li(4, 2)
+        spin = asm.new_label("spin")
+        asm.label(spin)
+        asm.b_label(spin)
+        cpu.mem.write(TEXT, asm.finish())
+        blk_a = _dispatch(cpu, cache, "ppc")
+        blk_b = _dispatch(cpu, cache, "ppc")
+        assert blk_a.end == blk_b.start
+        # an 8-byte write covering A's last word and B's first word
+        cpu.invalidate_icache(blk_a.end - 4, 8)
+        for addr in (blk_a.start, blk_b.start):
+            assert addr not in cache.hot and addr not in cache.warm
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_write_past_block_end_demotes_but_keeps_it(self, arch):
+        """A write just past a block's extent cannot corrupt any of its
+        instructions: the block survives (demoted to warm, like the
+        icache's survivors) and is re-promoted with the same compiled
+        function on the next dispatch."""
+        from repro.compile import BlockCache
+        cpu = _bare_cpu(arch)
+        cache = BlockCache()
+        cpu._block_cache = cache
+        if arch == "x86":
+            from repro.x86.assembler import X86Assembler
+            asm = X86Assembler()
+            asm.mov_r_imm(0, 3)
+            asm.hlt()
+        else:
+            from repro.ppc.assembler import PPCAssembler
+            asm = PPCAssembler()
+            asm.li(3, 3)
+            spin = asm.new_label("spin")
+            asm.label(spin)
+            asm.b_label(spin)
+        cpu.mem.write(TEXT, asm.finish())
+        blk = _dispatch(cpu, cache, arch)
+        cpu.invalidate_icache(blk.end, 1)
+        assert blk.start not in cache.hot
+        assert cache.warm.get(blk.start) is blk
+        if arch == "x86":
+            cpu.eip = TEXT
+            cpu.halted = False
+        else:
+            cpu.pc = TEXT
+        assert _dispatch(cpu, cache, arch) is blk
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_machine_flip_reaches_block_cache(self, arch, booted_x86,
+                                              booted_ppc):
+        """The injector's text-flip path (``flip_memory_bit`` →
+        ``invalidate_icache``) must reach the block cache of a forked
+        machine: the overlapped block vanishes, every other hot block
+        is demoted to warm (mirroring the icache demotion that just
+        invalidated their hot-tier guarantee)."""
+        base = _machine(arch, booted_x86, booted_ppc)
+        clone = base.fork()
+        clone.syscall(1)
+        cache = clone.cpu._block_cache
+        assert cache is not None and cache.hot, \
+            "syscall should have populated the block cache"
+        victim = max(cache.hot.values(), key=lambda b: b.n)
+        mid = victim.spans[victim.n // 2][0]
+        survivors = {a: b for a, b in cache.hot.items()
+                     if not (b.start <= mid < b.end)}
+        clone.flip_memory_bit(mid, 0)
+        assert victim.start not in cache.hot
+        assert victim.start not in cache.warm
+        assert not cache.hot
+        for addr, block in survivors.items():
+            assert cache.warm.get(addr) is block

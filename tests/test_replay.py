@@ -186,3 +186,33 @@ def test_replay_trace_dump(stores, tmp_path):
     assert count == outcome.recorder.total_emitted
     first = json.loads(path.read_text().splitlines()[0])
     assert {"kind", "instret", "cycles", "pc"} <= set(first)
+
+
+# -- replay under the compiled-block default ----------------------------------
+
+@pytest.mark.parametrize("config", [X86_CONFIG, PPC_CONFIG],
+                         ids=["x86-stack", "ppc-code"])
+def test_replay_forces_step_core(stores, config):
+    """The dissector reasons about per-instruction trace events, so the
+    replayer must pin ``exec_mode="step"`` regardless of the campaign
+    default — and since exec_mode is not part of campaign identity,
+    the step-mode config still resolves the journaled campaign id."""
+    serial, _parallel = stores
+    replayer = Replayer(serial, _campaign_id(config))
+    assert replayer.config.exec_mode == "step"
+    assert CampaignManifest.from_config(replayer.config).campaign_id == \
+        _campaign_id(config)
+
+
+def test_block_recorded_journal_replays_bit_identically(
+        stores, x86_context):
+    """The module's journals were recorded under the block-core default
+    (CampaignConfig's exec_mode), while replay single-steps: every
+    event stream still verifies, which is itself a step-vs-block
+    equivalence check across the store boundary."""
+    serial, _parallel = stores
+    recorded = CampaignConfig(**X86_CONFIG)
+    assert recorded.exec_mode == "block"
+    replayer = Replayer(serial, _campaign_id(X86_CONFIG))
+    outcomes = replayer.replay_all()
+    assert outcomes and all(o.replayed == o.journaled for o in outcomes)
