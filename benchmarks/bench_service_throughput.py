@@ -1,0 +1,193 @@
+"""Campaign-service throughput: submission rate, end-to-end latency
+under concurrent clients, and streamed-progress overhead.
+
+Three questions about the HTTP layer on top of the engine:
+
+* **submissions/s** — how fast the daemon accepts work (payload
+  validation, manifest identity, job-index append) independent of how
+  fast it runs it;
+* **end-to-end latency** — wall time from submit to ``done`` for the
+  same campaign when 1, 4, and 16 clients hit the daemon at once
+  (queueing + slot contention, fairness overhead included);
+* **streamed-progress overhead** — the same campaign run directly via
+  ``Campaign.run`` versus submitted over HTTP with a client consuming
+  every progress event; the difference is what the service skin costs.
+
+Scale with ``REPRO_BENCH_SCALE`` like the other benchmarks.  The
+daemon runs in-process on a background thread with real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+
+import pytest
+
+from repro.injection.campaign import (
+    Campaign, CampaignContext,
+)
+from repro.service.client import ServiceClient
+from repro.service.daemon import CampaignService
+from repro.service.protocol import campaign_config_from_payload
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+#: distinct tiny campaigns for the acceptance-rate measurement
+SUBMISSIONS = max(20, int(60 * _SCALE))
+#: per-client campaign size for the latency / overhead measurements
+COUNT = max(12, int(24 * _SCALE))
+SEED = 0
+OPS = 36
+
+
+class _DaemonThread:
+    def __init__(self, store_dir, workers):
+        self.service = None
+        self.port = None
+        self.loop = None
+        self._started = threading.Event()
+        self._stop_event = None
+        self._thread = threading.Thread(
+            target=self._run, args=(str(store_dir), workers),
+            daemon=True)
+        self._thread.start()
+        assert self._started.wait(30)
+
+    def _run(self, store_dir, workers):
+        async def main():
+            self.loop = asyncio.get_running_loop()
+            self.service = CampaignService(store_dir, workers=workers,
+                                           port=0)
+            self.port = await self.service.start()
+            self._stop_event = asyncio.Event()
+            self._started.set()
+            await self._stop_event.wait()
+            await self.service.stop()
+        asyncio.run(main())
+
+    def client(self) -> ServiceClient:
+        return ServiceClient(f"http://127.0.0.1:{self.port}",
+                             timeout=600)
+
+    def shutdown(self):
+        self.loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(120)
+
+
+@pytest.fixture(scope="module")
+def service_context() -> CampaignContext:
+    # prewarm so the first job doesn't pay the context build
+    return CampaignContext.get("x86", SEED, OPS)
+
+
+@pytest.fixture()
+def daemon(tmp_path, service_context):
+    handle = _DaemonThread(tmp_path / "store", workers=4)
+    yield handle
+    handle.shutdown()
+
+
+def _payload(count: int, salt: int) -> dict:
+    # distinct dump_loss_probability -> distinct campaign identity,
+    # so submissions never dedupe onto each other
+    return {"arch": "x86", "kind": "register", "count": count,
+            "seed": SEED, "ops": OPS,
+            "dump_loss_probability": 0.08 + salt * 1e-7}
+
+
+def test_bench_submission_rate(benchmark, daemon):
+    client = daemon.client()
+    state = {}
+
+    def submit_all():
+        start = time.perf_counter()
+        ids = [client.submit(_payload(1, salt))["job"]["id"]
+               for salt in range(SUBMISSIONS)]
+        state["elapsed"] = time.perf_counter() - start
+        state["ids"] = ids
+
+    benchmark.pedantic(submit_all, rounds=1, iterations=1)
+    rate = SUBMISSIONS / state["elapsed"]
+    # drain outside the timed region so the daemon shuts down clean
+    for job_id in state["ids"]:
+        assert client.wait(job_id, timeout=600)["state"] == "done"
+    print(f"\nsubmissions: {SUBMISSIONS} accepted in "
+          f"{state['elapsed']:.3f}s = {rate:,.1f} submissions/s")
+
+
+@pytest.mark.parametrize("clients", [1, 4, 16])
+def test_bench_e2e_latency(benchmark, clients, daemon):
+    state = {}
+
+    def run_clients():
+        latencies = []
+        lock = threading.Lock()
+        errors = []
+
+        def one_client(salt):
+            try:
+                client = daemon.client()
+                start = time.perf_counter()
+                job_id = client.submit(
+                    _payload(COUNT, 1000 + salt))["job"]["id"]
+                final = client.wait(job_id, timeout=600)
+                elapsed = time.perf_counter() - start
+                assert final["state"] == "done", final
+                with lock:
+                    latencies.append(elapsed)
+            except Exception as exc:   # noqa: BLE001 — re-raised below
+                errors.append(exc)
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=one_client, args=(salt,))
+                   for salt in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(600)
+        state["wall"] = time.perf_counter() - start
+        assert not errors, errors
+        state["latencies"] = latencies
+
+    benchmark.pedantic(run_clients, rounds=1, iterations=1)
+    latencies = sorted(state["latencies"])
+    mean = sum(latencies) / len(latencies)
+    print(f"\nclients={clients}: {clients}x{COUNT} injections, wall "
+          f"{state['wall']:.2f}s, per-campaign latency mean "
+          f"{mean:.2f}s min {latencies[0]:.2f}s max "
+          f"{latencies[-1]:.2f}s")
+
+
+def test_bench_streamed_progress_overhead(benchmark, daemon,
+                                          service_context):
+    payload = _payload(max(24, int(48 * _SCALE)), 9999)
+    config = campaign_config_from_payload(payload)
+    state = {}
+
+    def run_both():
+        start = time.perf_counter()
+        direct = Campaign(config, service_context).run()
+        state["direct"] = time.perf_counter() - start
+
+        client = daemon.client()
+        events = 0
+        start = time.perf_counter()
+        job_id = client.submit(payload)["job"]["id"]
+        for event in client.stream(job_id):
+            events += 1
+            if (event.get("event") == "state"
+                    and event.get("state") in ("done", "failed")):
+                break
+        state["served"] = time.perf_counter() - start
+        state["events"] = events
+        final = client.job(job_id)
+        assert final["state"] == "done", final
+        state["digest_match"] = True
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    overhead = state["served"] / state["direct"]
+    print(f"\nstreamed progress: direct {state['direct']:.2f}s vs "
+          f"served+streamed {state['served']:.2f}s "
+          f"({state['events']} events) = {overhead:.2f}x")

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI smoke for the campaign service (`repro serve`).
+
+Runs the daemon as a real subprocess against a temp store and checks,
+in order:
+
+1. a campaign submitted over HTTP completes with the **pinned** digest
+   (``tests/data/campaign_digests.json``, x86 registers);
+2. cancelling a running campaign stops it at a batch boundary and
+   frees every worker slot;
+3. SIGKILL mid-campaign, restart on the same store: the job is
+   requeued from the durable index and resumes to the same digest a
+   direct in-process ``Campaign.run`` produces;
+4. SIGTERM drains gracefully (exit 0).
+
+Exit status is 0 only when every check passes.  Local use::
+
+    python scripts/service_smoke.py
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+
+def spawn(store: Path, port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", str(store),
+         "--workers", "1", "--port", str(port)],
+        env=env, cwd=ROOT)
+
+
+def main() -> int:
+    pinned = json.loads(
+        (ROOT / "tests" / "data" / "campaign_digests.json")
+        .read_text())["x86/register"]["sha256"]
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    store = Path(tempfile.mkdtemp(prefix="service-smoke-"))
+    daemon = spawn(store, port)
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=300)
+    try:
+        client.wait_ready(timeout=120)
+
+        # 1. pinned digest over HTTP
+        out = client.submit({"arch": "x86", "kind": "register",
+                             "count": 10, "seed": 0, "ops": 36})
+        job = client.wait(out["job"]["id"], timeout=600)
+        assert job["state"] == "done", job
+        assert job["digest"] == pinned, (job["digest"], pinned)
+        print(f"[1/4] pinned digest over HTTP: ok "
+              f"({job['digest'][:16]}...)")
+
+        # 2. cancel stops at a batch boundary and frees the slots
+        big = {"arch": "x86", "kind": "data", "count": 60, "seed": 0,
+               "ops": 36}
+        job_id = client.submit(big)["job"]["id"]
+        for event in client.stream(job_id):
+            if (event.get("event") == "progress"
+                    and event["done"] >= 2):
+                break
+        client.cancel(job_id)
+        final = client.wait(job_id, timeout=120)
+        assert final["state"] == "cancelled", final
+        assert 0 < final["done"] < 60, final
+        health = client.health()
+        assert health["free_slots"] == health["total_slots"], health
+        print(f"[2/4] cancel: stopped at {final['done']}/60, "
+              f"slots freed")
+
+        # 3. SIGKILL mid-campaign; the restart resumes to the digest
+        #    a direct in-process run of the same config produces
+        resumed = client.submit(big)["job"]["id"]
+        for event in client.stream(resumed):
+            if (event.get("event") == "progress"
+                    and event["done"] > final["done"]):
+                break
+        daemon.kill()
+        daemon.wait(30)
+        daemon = spawn(store, port)
+        client.wait_ready(timeout=120)
+        done_job = client.wait(resumed, timeout=600)
+        assert done_job["state"] == "done", done_job
+
+        from repro.injection.campaign import Campaign, CampaignContext
+        from repro.service.protocol import campaign_config_from_payload
+        from repro.store.codec import results_digest
+        config = campaign_config_from_payload(big)
+        context = CampaignContext.get("x86", 0, 36)
+        expected = results_digest(
+            Campaign(config, context).run().results)
+        assert done_job["digest"] == expected, (done_job["digest"],
+                                                expected)
+        print("[3/4] SIGKILL + restart: resumed to the direct-run "
+              "digest")
+
+        # 4. graceful drain
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(60)
+        assert code == 0, f"drain exited {code}"
+        print("[4/4] SIGTERM drain: exit 0")
+        print("service smoke: all checks passed")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,15 @@ Commands
     ``--validate N`` also runs an N-injection dynamic code campaign
     and prints the predicted-vs-measured confusion matrix.
 
+``serve``
+    Run the campaign service daemon: an asyncio HTTP/JSON API that
+    queues submitted campaigns per tenant (FIFO + priority, round-
+    robin fairness), runs them on the sharded engine through the
+    durable store, streams progress (NDJSON/SSE), and serves stored
+    results to concurrent readers.
+``submit`` / ``jobs`` / ``cancel``
+    Thin clients for a running service (``--url``).
+
 ``campaign`` and ``study`` take ``--store DIR`` to journal results
 durably as they complete, ``--resume`` to continue (or top up) a
 stored campaign, and ``--progress`` for periodic injected/total lines.
@@ -83,10 +92,12 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
 
 
 def _progress_printer(label: str = ""):
-    """A ``(done, total)`` callback printing ~20 periodic lines."""
+    """A ``Campaign.run(progress_callback=)`` batch callback printing
+    ~20 periodic ``done/total`` lines (batches are ignored — the
+    service consumes them; the CLI only prints the tick)."""
     state = {"last": 0}
 
-    def callback(done: int, total: int) -> None:
+    def callback(done: int, total: int, batch=None) -> None:
         step = max(1, total // 20)
         if done >= total or done - state["last"] >= step:
             state["last"] = done
@@ -131,7 +142,7 @@ def cmd_study(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             progress = _progress_printer(f"  {arch}/{kind.value}: ") \
                 if args.progress else None
-            study.run_campaign(arch, kind, progress=progress)
+            study.run_campaign(arch, kind, progress_callback=progress)
     print(study.render_all())
     return 0
 
@@ -145,7 +156,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                            seed=args.seed, ops=args.ops,
                            workers=args.workers,
                            store=args.store, resume=args.resume,
-                           progress=_progress_printer()
+                           progress_callback=_progress_printer()
                            if args.progress else None,
                            prune="dead" if args.prune_dead else "none",
                            exec_mode=args.exec_mode)
@@ -306,9 +317,28 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_errors(handler):
+    """Store subcommands: a missing or corrupt store is exit 1 with a
+    one-line message on stderr, never a traceback."""
+    import functools
+
+    @functools.wraps(handler)
+    def wrapped(args: argparse.Namespace) -> int:
+        from repro.store import (
+            JournalCorruption, ManifestError, StoreError,
+        )
+        try:
+            return handler(args)
+        except (StoreError, ManifestError, JournalCorruption) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    return wrapped
+
+
+@_store_errors
 def cmd_store_ls(args: argparse.Namespace) -> int:
     from repro.store import CampaignStore
-    store = CampaignStore(args.dir)
+    store = CampaignStore(args.dir, create=False)
     ids = store.campaign_ids()
     if not ids:
         print(f"no campaigns in {args.dir}")
@@ -323,9 +353,10 @@ def cmd_store_ls(args: argparse.Namespace) -> int:
     return 0
 
 
+@_store_errors
 def cmd_store_verify(args: argparse.Namespace) -> int:
     from repro.store import CampaignStore
-    store = CampaignStore(args.dir)
+    store = CampaignStore(args.dir, create=False)
     ids = [args.campaign] if args.campaign else store.campaign_ids()
     status = 0
     for campaign_id in ids:
@@ -340,12 +371,106 @@ def cmd_store_verify(args: argparse.Namespace) -> int:
     return status
 
 
+@_store_errors
 def cmd_store_export(args: argparse.Namespace) -> int:
     from repro.store import CampaignStore
-    store = CampaignStore(args.dir)
+    store = CampaignStore(args.dir, create=False)
     count = store.export(args.campaign, args.output)
     print(f"wrote {count} records to {args.output}")
     return 0
+
+
+def _service_client(args):
+    from repro.service.client import ServiceClient
+    return ServiceClient(args.url)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import run_daemon
+    return run_daemon(store=args.store, workers=args.workers,
+                      host=args.host, port=args.port)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+    if args.prune_dead and args.kind != "code":
+        raise SystemExit("--prune-dead requires --kind code")
+    client = _service_client(args)
+    config = {"arch": args.arch, "kind": args.kind,
+              "count": args.count, "seed": args.seed, "ops": args.ops,
+              "exec_mode": args.exec_mode,
+              "prune": "dead" if args.prune_dead else "none"}
+    try:
+        out = client.submit(config, tenant=args.tenant,
+                            priority=args.priority,
+                            workers=args.workers)
+    except (OSError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    job = out["job"]
+    note = " (deduped onto existing job)" if out.get("deduped") else ""
+    print(f"{job['id']} {job['state']}{note}")
+    if not args.wait:
+        return 0
+
+    def on_event(event):
+        if event.get("event") == "progress":
+            print(f"  {event['done']}/{event['total']} injected",
+                  file=sys.stderr)
+
+    try:
+        final = client.wait(job["id"], timeout=args.timeout,
+                            on_event=on_event)
+    except (OSError, ServiceError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    line = f"{final['id']} {final['state']}"
+    if final.get("digest"):
+        line += f" digest={final['digest']}"
+    if final.get("error"):
+        line += f" error={final['error']}"
+    print(line)
+    return 0 if final["state"] == "done" else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+    try:
+        views = _service_client(args).jobs(tenant=args.tenant,
+                                           state=args.state)
+    except (OSError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not views:
+        print("no jobs")
+        return 0
+    print(f"{'job':<12} {'tenant':<12} {'state':<10} "
+          f"{'progress':>12}  digest")
+    for view in views:
+        progress = f"{view['done']}/{view['total']}" \
+            if view["total"] else "-"
+        digest = (view.get("digest") or "")[:16]
+        print(f"{view['id']:<12} {view['tenant']:<12} "
+              f"{view['state']:<10} {progress:>12}  {digest}")
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+    try:
+        job = _service_client(args).cancel(args.job)
+    except (OSError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{job['id']} {job['state']}")
+    return 0
+
+
+def _add_url(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="campaign service base URL "
+        "(default http://127.0.0.1:8321)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -396,6 +521,57 @@ def build_parser() -> argparse.ArgumentParser:
     store_export.add_argument("campaign", metavar="ID")
     store_export.add_argument("output", metavar="OUT.jsonl")
     store_export.set_defaults(func=cmd_store_export)
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign service daemon")
+    serve.add_argument("--store", metavar="DIR", required=True,
+                       help="durable result store the service "
+                       "schedules into (created if missing)")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       help="total worker slots; each job occupies "
+                       "its requested worker count (default 2)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port (0 = OS-assigned)")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to a running service")
+    _add_common(submit)
+    submit.add_argument("--kind", required=True,
+                        choices=[kind.value for kind in CampaignKind])
+    submit.add_argument("-n", "--count", type=_positive_int,
+                        default=100)
+    submit.add_argument("--tenant", default="default",
+                        help="tenant name for fair queueing")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs sooner within the tenant")
+    submit.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker slots (shard processes) the job "
+                        "requests")
+    submit.add_argument("--wait", action="store_true",
+                        help="stream progress and block until the "
+                        "job finishes")
+    submit.add_argument("--timeout", type=float, default=3600.0,
+                        help="--wait timeout in seconds")
+    _add_prune(submit)
+    _add_exec_mode(submit)
+    _add_url(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    jobs = sub.add_parser("jobs", help="list service jobs")
+    jobs.add_argument("--tenant", help="filter by tenant")
+    jobs.add_argument("--state",
+                      choices=["queued", "running", "done", "failed",
+                               "cancelled"],
+                      help="filter by state")
+    _add_url(jobs)
+    jobs.set_defaults(func=cmd_jobs)
+
+    cancel = sub.add_parser("cancel", help="cancel a service job")
+    cancel.add_argument("job", metavar="JOB_ID")
+    _add_url(cancel)
+    cancel.set_defaults(func=cmd_cancel)
 
     replay = sub.add_parser(
         "replay", help="re-execute one journaled experiment, traced")

@@ -79,7 +79,8 @@ class Study:
                      count: Optional[int] = None,
                      workers: Optional[int] = None,
                      store=None, resume: Optional[bool] = None,
-                     progress=None) -> List[InjectionResult]:
+                     progress=None,
+                     progress_callback=None) -> List[InjectionResult]:
         config = self.config
         campaign_config = self._campaign_config(arch, kind, count)
         context = CampaignContext.get(arch, config.seed, config.ops)
@@ -87,7 +88,7 @@ class Study:
             workers=workers if workers is not None else config.workers,
             store=self._store(store),
             resume=config.resume if resume is None else resume,
-            progress=progress)
+            progress=progress, progress_callback=progress_callback)
         self.results.setdefault(arch, {})[kind] = outcome.results
         return outcome.results
 

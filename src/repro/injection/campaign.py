@@ -253,7 +253,8 @@ class Campaign:
         return result
 
     def run(self, progress=None, workers: int = 1, store=None,
-            resume: bool = False) -> CampaignResult:
+            resume: bool = False,
+            progress_callback=None) -> CampaignResult:
         """Run the campaign.
 
         With *store* (a :class:`repro.store.CampaignStore` or a
@@ -262,20 +263,36 @@ class Campaign:
         resumes bit-identically, and a raised ``count`` tops the
         stored campaign up.  *resume* must be set to continue a
         campaign that already has journaled results.
+
+        *progress* is the legacy ``(done, total)`` tick.
+        *progress_callback* is the batch form ``(done, total, batch)``
+        where *batch* is the list of ``(global_index, result)`` pairs
+        merged since the previous call — one pair per call on the
+        serial path, one shard per call on the parallel path, and the
+        already-journaled prefix as the first batch on a resume.  On
+        store-backed runs every batch is journaled **before** the
+        callback sees it, so a callback that raises (e.g. a service
+        cancelling the job) aborts the run without losing work.
         """
         self.context.collector.clear()   # per-campaign reset
         if store is not None:
             from repro.store.resume import run_with_store
             out = run_with_store(self, store, resume=resume,
-                                 progress=progress, workers=workers)
+                                 progress=progress, workers=workers,
+                                 progress_callback=progress_callback)
         elif workers > 1:
             from repro.injection.parallel import run_parallel
-            out = run_parallel(self, workers, progress=progress)
+            out = run_parallel(self, workers, progress=progress,
+                               progress_callback=progress_callback)
         else:
             out = CampaignResult(config=self.config)
             targets = self.generate_targets()
             for index, target in enumerate(targets):
-                out.results.append(self.run_target(index, target))
+                result = self.run_target(index, target)
+                out.results.append(result)
+                if progress_callback is not None:
+                    progress_callback(index + 1, len(targets),
+                                      [(index, result)])
                 if progress is not None:
                     progress(index + 1, len(targets))
         # every path above calls generate_targets on this instance
@@ -287,9 +304,11 @@ def run_campaign(arch: str, kind: CampaignKind, count: int,
                  seed: int = 0, ops: int = 48,
                  workers: int = 1, store=None, resume: bool = False,
                  progress=None, prune: str = "none",
-                 exec_mode: str = "block") -> CampaignResult:
+                 exec_mode: str = "block",
+                 progress_callback=None) -> CampaignResult:
     """One-call convenience wrapper."""
     config = CampaignConfig(arch=arch, kind=kind, count=count, seed=seed,
                             ops=ops, prune=prune, exec_mode=exec_mode)
     return Campaign(config).run(workers=workers, store=store,
-                                resume=resume, progress=progress)
+                                resume=resume, progress=progress,
+                                progress_callback=progress_callback)

@@ -134,7 +134,8 @@ def run_items(campaign: Campaign, items: Sequence[Tuple[int, object]],
               workers: int, progress=None,
               fail_shards: Optional[Sequence[int]] = None,
               sink=None, done_base: int = 0,
-              total: Optional[int] = None
+              total: Optional[int] = None,
+              progress_callback=None
               ) -> Tuple[List[Tuple[int, InjectionResult]],
                          List[ShardFailure]]:
     """Run ``(global_index, target)`` *items* across *workers*.
@@ -148,7 +149,11 @@ def run_items(campaign: Campaign, items: Sequence[Tuple[int, object]],
     parent, in shard-completion order, before the progress callback**
     — the write-ahead hook the journal attaches to.  *progress* is
     reported as ``done_base`` plus completed items, out of *total*
-    (default ``done_base + len(items)``).
+    (default ``done_base + len(items)``).  *progress_callback* is the
+    batch form, ``(done, total, batch)`` with *batch* the just-merged
+    shard's ``(global_index, result)`` pairs in index order, called
+    after the sink; raising from it aborts the run at the next shard
+    boundary (queued shards are cancelled, running ones drain).
 
     Returns ``(merged, failures)`` with *merged* sorted by global
     index and verified complete against *items*.
@@ -178,13 +183,18 @@ def run_items(campaign: Campaign, items: Sequence[Tuple[int, object]],
                 sink(index, result)
         merged.extend(shard_results)
         done += len(shard_results)
+        if progress_callback is not None:
+            progress_callback(done, total,
+                              sorted(shard_results,
+                                     key=lambda pair: pair[0]))
         if progress is not None:
             progress(done, total)
 
-    with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_mp_context(),
-            initializer=_worker_init,
-            initargs=(config.arch, config.seed, config.ops)) as pool:
+    pool = ProcessPoolExecutor(
+        max_workers=workers, mp_context=_mp_context(),
+        initializer=_worker_init,
+        initargs=(config.arch, config.seed, config.ops))
+    try:
         futures = {pool.submit(_run_shard, payload): payload
                    for payload in payloads}
         for future in as_completed(futures):
@@ -203,6 +213,14 @@ def run_items(campaign: Campaign, items: Sequence[Tuple[int, object]],
                 failures.append(ShardFailure(
                     shard=shard_index, error=error, recovered=True))
             shard_finished(results)
+    except BaseException:
+        # a sink or progress callback aborted the run (e.g. the
+        # campaign service cancelling a job): drop the queued shards
+        # so worker slots free at the next shard boundary instead of
+        # after the whole campaign has drained
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
 
     merged.sort(key=lambda pair: pair[0])
     expected = sorted(index for index, _target in items)
@@ -213,13 +231,14 @@ def run_items(campaign: Campaign, items: Sequence[Tuple[int, object]],
 
 
 def run_parallel(campaign: Campaign, workers: int, progress=None,
-                 fail_shards: Optional[Sequence[int]] = None
-                 ) -> CampaignResult:
+                 fail_shards: Optional[Sequence[int]] = None,
+                 progress_callback=None) -> CampaignResult:
     """Run *campaign* across *workers* processes.
 
     Bit-identical to ``campaign.run()``; see the module docstring for
     the contract.  *progress* is the same ``(done, total)`` callback
-    the serial loop takes, called once per completed shard.
+    the serial loop takes, called once per completed shard;
+    *progress_callback* is the batch form (see :func:`run_items`).
     *fail_shards* injects worker-side failures for the degradation
     tests.
     """
@@ -228,7 +247,8 @@ def run_parallel(campaign: Campaign, workers: int, progress=None,
     out = CampaignResult(config=campaign.config)
     merged, failures = run_items(
         campaign, list(enumerate(targets)), workers,
-        progress=progress, fail_shards=fail_shards)
+        progress=progress, fail_shards=fail_shards,
+        progress_callback=progress_callback)
     out.failures.extend(failures)
     out.results.extend(result for _index, result in merged)
     return out

@@ -1,0 +1,37 @@
+"""Campaign-as-a-service: a long-lived orchestration daemon.
+
+The paper's result tables come from thousands of independent
+experiments per (architecture, target-class) cell — work shaped for a
+service, not a one-shot CLI.  This package layers an asyncio HTTP/JSON
+daemon over the existing engine:
+
+* **protocol** (:mod:`repro.service.protocol`) — submission payload
+  validation against :class:`CampaignConfig`/:class:`StudyConfig` and
+  the JSON job views;
+* **jobs** (:mod:`repro.service.jobs`) — the job model and the
+  multi-tenant FIFO+priority queue with round-robin fairness;
+* **scheduler** (:mod:`repro.service.scheduler`) — worker-slot
+  accounting, job execution on the PR 1 sharded engine through the
+  PR 2 store (so a killed daemon resumes bit-identically and duplicate
+  submissions dedupe by manifest identity), cancellation, and the
+  durable job index;
+* **http** (:mod:`repro.service.http`) — a minimal stdlib-only
+  HTTP/1.1 layer on asyncio streams (no framework);
+* **daemon** (:mod:`repro.service.daemon`) — routes, streaming
+  (NDJSON/SSE) progress, read endpoints, graceful shutdown;
+* **client** (:mod:`repro.service.client`) — a thin blocking client
+  (``repro submit``/``jobs``/``cancel`` wrap it).
+
+Start one with ``python -m repro serve --store DIR --workers N``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import CampaignService
+from repro.service.jobs import Job, JobState
+from repro.service.protocol import ValidationError
+from repro.service.scheduler import CampaignScheduler
+
+__all__ = [
+    "CampaignService", "CampaignScheduler", "ServiceClient",
+    "ServiceError", "Job", "JobState", "ValidationError",
+]

@@ -1,0 +1,384 @@
+"""The campaign service daemon: routes, streaming, shutdown.
+
+API (all JSON unless noted)::
+
+    GET  /v1/health                      liveness + slot/queue stats
+    POST /v1/jobs                        submit a campaign (or study)
+    GET  /v1/jobs[?tenant=&state=]       list jobs
+    GET  /v1/jobs/{id}                   one job's status
+    POST /v1/jobs/{id}/cancel            cancel (idempotent)
+    GET  /v1/jobs/{id}/events            progress stream: NDJSON, or
+                                         SSE with Accept: text/event-stream
+    GET  /v1/campaigns                   stored campaigns (manifest+done)
+    GET  /v1/campaigns/{cid}/results     results as NDJSON (?limit=)
+    GET  /v1/campaigns/{cid}/summary     outcome/cause/latency summary
+    GET  /v1/campaigns/{cid}/sensitivity text sensitivity table (code)
+
+Read endpoints replay the journal with ``truncate=False``, so they see
+a consistent prefix of a campaign that is *still being appended to* —
+many concurrent readers, one writer, no locks.
+
+Graceful shutdown (SIGINT/SIGTERM under ``repro serve``) drains: new
+submissions get 503, running jobs stop at their next journaled batch
+boundary and are requeued in the durable job index, so the restarted
+daemon resumes them bit-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import AsyncIterator, List, Optional, Tuple
+
+from repro.service.http import (
+    HttpError, HttpServer, Request, Response, Router, json_response,
+    text_response,
+)
+from repro.service.jobs import JobState
+from repro.service.protocol import (
+    ValidationError, campaign_config_from_payload,
+    study_configs_from_payload,
+)
+from repro.service.scheduler import CampaignScheduler, SchedulerDraining
+from repro.store import (
+    CampaignStore, JournalCorruption, ManifestError, StoreError,
+)
+from repro.store import journal as journal_mod
+from repro.store.codec import result_to_dict, results_digest
+from repro.store.manifest import JOURNAL_NAME, CampaignManifest
+
+#: how long an event stream waits between queue polls before emitting
+#: a keep-alive comment (SSE) / blank line (NDJSON)
+STREAM_KEEPALIVE = 15.0
+
+
+class CampaignService:
+    """The daemon: an HTTP facade over a :class:`CampaignScheduler`."""
+
+    def __init__(self, store, workers: int = 2,
+                 host: str = "127.0.0.1", port: int = 8321):
+        self.store = (store if isinstance(store, CampaignStore)
+                      else CampaignStore(store))
+        self.scheduler = CampaignScheduler(self.store, workers=workers)
+        self.host = host
+        self.port = port
+        self._http = HttpServer(self._router())
+
+    def _router(self) -> Router:
+        router = Router()
+        router.add("GET", "/v1/health", self.handle_health)
+        router.add("POST", "/v1/jobs", self.handle_submit)
+        router.add("GET", "/v1/jobs", self.handle_jobs)
+        router.add("GET", "/v1/jobs/{id}", self.handle_job)
+        router.add("POST", "/v1/jobs/{id}/cancel", self.handle_cancel)
+        router.add("GET", "/v1/jobs/{id}/events", self.handle_events)
+        router.add("GET", "/v1/campaigns", self.handle_campaigns)
+        router.add("GET", "/v1/campaigns/{cid}", self.handle_campaign)
+        router.add("GET", "/v1/campaigns/{cid}/results",
+                   self.handle_results)
+        router.add("GET", "/v1/campaigns/{cid}/summary",
+                   self.handle_summary)
+        router.add("GET", "/v1/campaigns/{cid}/sensitivity",
+                   self.handle_sensitivity)
+        return router
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> int:
+        """Start scheduler + listener; returns the bound port."""
+        await self.scheduler.start()
+        self.port = await self._http.start(self.host, self.port)
+        return self.port
+
+    async def stop(self) -> None:
+        """Graceful drain (see module docstring)."""
+        self.scheduler.draining = True     # 503 new submissions now
+        await self.scheduler.shutdown()
+        await self._http.close()
+
+    # -- job endpoints -----------------------------------------------------
+
+    async def handle_health(self, request: Request) -> Response:
+        stats = self.scheduler.stats()
+        stats["status"] = "draining" if stats["draining"] else "ok"
+        stats["store"] = str(self.store.root)
+        return json_response(stats)
+
+    async def handle_submit(self, request: Request) -> Response:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "submission must be a JSON object")
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise HttpError(400, "tenant must be a non-empty string")
+        priority = payload.get("priority", 0)
+        workers = payload.get("workers", 1)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise HttpError(400, "priority must be an integer")
+        if (not isinstance(workers, int) or isinstance(workers, bool)
+                or workers < 1):
+            raise HttpError(400, "workers must be a positive integer")
+        job_type = payload.get("type", "campaign")
+        try:
+            if job_type == "campaign":
+                configs = [campaign_config_from_payload(
+                    payload.get("config"))]
+            elif job_type == "study":
+                configs = study_configs_from_payload(
+                    payload.get("config", {}))
+            else:
+                raise HttpError(400, f"unknown job type {job_type!r}")
+        except ValidationError as exc:
+            raise HttpError(400, str(exc))
+        views, deduped = [], 0
+        try:
+            for config in configs:
+                job, was_dup = self.scheduler.submit(
+                    config, tenant=tenant, priority=priority,
+                    workers=workers)
+                views.append(job.view())
+                deduped += int(was_dup)
+        except SchedulerDraining as exc:
+            raise HttpError(503, str(exc))
+        if job_type == "campaign":
+            return json_response(
+                {"job": views[0], "deduped": bool(deduped)},
+                status=200 if deduped else 201)
+        return json_response({"jobs": views, "deduped": deduped},
+                             status=201)
+
+    async def handle_jobs(self, request: Request) -> Response:
+        return json_response({"jobs": self.scheduler.job_views(
+            tenant=request.query.get("tenant"),
+            state=request.query.get("state"))})
+
+    def _job(self, request: Request):
+        try:
+            return self.scheduler.jobs[request.params["id"]]
+        except KeyError:
+            raise HttpError(404, f"no job {request.params['id']}")
+
+    async def handle_job(self, request: Request) -> Response:
+        return json_response({"job": self._job(request).view()})
+
+    async def handle_cancel(self, request: Request) -> Response:
+        job = self._job(request)
+        job = self.scheduler.cancel(job.id)
+        return json_response({"job": job.view()})
+
+    async def handle_events(self, request: Request) -> Response:
+        job = self._job(request)
+        sse = request.wants_sse()
+        history, live = self.scheduler.subscribe(job.id)
+
+        def encode(event: dict) -> bytes:
+            line = json.dumps(event, sort_keys=True)
+            if sse:
+                return f"data: {line}\n\n".encode("utf-8")
+            return (line + "\n").encode("utf-8")
+
+        async def stream() -> AsyncIterator[bytes]:
+            try:
+                for event in history:
+                    yield encode(event)
+                while live is not None:
+                    try:
+                        event = await asyncio.wait_for(
+                            live.get(), timeout=STREAM_KEEPALIVE)
+                    except asyncio.TimeoutError:
+                        yield b": keep-alive\n\n" if sse else b"\n"
+                        continue
+                    if event is None:
+                        break
+                    yield encode(event)
+            finally:
+                if live is not None:
+                    self.scheduler.unsubscribe(job.id, live)
+
+        content_type = ("text/event-stream" if sse
+                        else "application/x-ndjson")
+        return Response(stream=stream(), content_type=content_type)
+
+    # -- store read endpoints ----------------------------------------------
+
+    def _journaled(self, campaign_id: str
+                   ) -> List[Tuple[int, object]]:
+        """A consistent prefix of one campaign's journal, readable
+        while the single writer is still appending."""
+        directory = self.store.campaign_dir(campaign_id)
+        if not (directory / "manifest.json").exists():
+            raise HttpError(404, f"no campaign {campaign_id}")
+        try:
+            report = journal_mod.replay(directory / JOURNAL_NAME,
+                                        truncate=False)
+        except JournalCorruption as exc:
+            raise HttpError(500, str(exc))
+        return sorted(report.records, key=lambda pair: pair[0])
+
+    async def handle_campaigns(self, request: Request) -> Response:
+        def build():
+            rows = []
+            for campaign_id in self.store.campaign_ids():
+                try:
+                    manifest = CampaignManifest.load(
+                        self.store.campaign_dir(campaign_id))
+                except ManifestError as exc:
+                    rows.append({"campaign_id": campaign_id,
+                                 "error": str(exc)})
+                    continue
+                rows.append({
+                    "campaign_id": campaign_id,
+                    "arch": manifest.arch, "kind": manifest.kind,
+                    "count": manifest.count,
+                    "done": len(self._journaled(campaign_id)),
+                    "code_version": manifest.code_version,
+                })
+            return rows
+        rows = await asyncio.get_running_loop().run_in_executor(
+            None, build)
+        return json_response({"campaigns": rows})
+
+    async def handle_campaign(self, request: Request) -> Response:
+        campaign_id = request.params["cid"]
+        directory = self.store.campaign_dir(campaign_id)
+        try:
+            manifest = CampaignManifest.load(directory)
+        except ManifestError as exc:
+            raise HttpError(404, str(exc))
+        records = await asyncio.get_running_loop().run_in_executor(
+            None, self._journaled, campaign_id)
+        return json_response({
+            "campaign_id": campaign_id,
+            "manifest": manifest.to_dict(),
+            "done": len(records),
+            "complete": len(records) >= manifest.count,
+        })
+
+    async def handle_results(self, request: Request) -> Response:
+        campaign_id = request.params["cid"]
+        limit = request.query.get("limit")
+        try:
+            cap = int(limit) if limit is not None else None
+        except ValueError:
+            raise HttpError(400, f"bad limit {limit!r}")
+        records = await asyncio.get_running_loop().run_in_executor(
+            None, self._journaled, campaign_id)
+        if cap is not None:
+            records = records[:cap]
+
+        async def stream() -> AsyncIterator[bytes]:
+            for index, result in records:
+                line = json.dumps(
+                    {"index": index,
+                     "result": result_to_dict(result)},
+                    sort_keys=True)
+                yield (line + "\n").encode("utf-8")
+
+        return Response(stream=stream(),
+                        content_type="application/x-ndjson")
+
+    async def handle_summary(self, request: Request) -> Response:
+        campaign_id = request.params["cid"]
+
+        def build():
+            from repro.analysis.latency import (
+                BUCKET_LABELS, latency_percentages,
+            )
+            from repro.analysis.tables import build_row, render_table
+            directory = self.store.campaign_dir(campaign_id)
+            try:
+                manifest = CampaignManifest.load(directory)
+            except ManifestError as exc:
+                raise HttpError(404, str(exc))
+            records = self._journaled(campaign_id)
+            results = [result for _index, result in records]
+            outcomes: dict = {}
+            causes: dict = {}
+            for result in results:
+                key = result.outcome.value
+                outcomes[key] = outcomes.get(key, 0) + 1
+                if result.cause is not None:
+                    cause = result.cause.value
+                    causes[cause] = causes.get(cause, 0) + 1
+            from repro.injection.outcomes import CampaignKind
+            row = build_row(CampaignKind(manifest.kind), results)
+            percentages = latency_percentages(results)
+            return {
+                "campaign_id": campaign_id,
+                "arch": manifest.arch, "kind": manifest.kind,
+                "count": manifest.count, "done": len(results),
+                "outcomes": outcomes, "causes": causes,
+                "latency_pct": {label: percentages[label]
+                                for label in BUCKET_LABELS},
+                "digest": results_digest(results),
+                "table": render_table(
+                    [row], "Pentium 4" if manifest.arch == "x86"
+                    else "PPC G4"),
+            }
+
+        payload = await asyncio.get_running_loop().run_in_executor(
+            None, build)
+        return json_response(payload)
+
+    async def handle_sensitivity(self, request: Request) -> Response:
+        campaign_id = request.params["cid"]
+
+        def build():
+            from repro.analysis.sensitivity import render_sensitivity
+            from repro.injection.campaign import CampaignContext
+            from repro.service.scheduler import _context_lock
+            directory = self.store.campaign_dir(campaign_id)
+            try:
+                manifest = CampaignManifest.load(directory)
+            except ManifestError as exc:
+                raise HttpError(404, str(exc))
+            if manifest.kind != "code":
+                raise HttpError(
+                    400, f"sensitivity tables need a code campaign, "
+                    f"{campaign_id} is {manifest.kind!r}")
+            results = [result for _index, result
+                       in self._journaled(campaign_id)]
+            with _context_lock:
+                context = CampaignContext.get(
+                    manifest.arch, manifest.seed, manifest.ops)
+            return render_sensitivity(
+                results, context.base_machine.image,
+                f"{manifest.arch} code campaign")
+
+        text = await asyncio.get_running_loop().run_in_executor(
+            None, build)
+        return text_response(text)
+
+
+def run_daemon(store, workers: int = 2, host: str = "127.0.0.1",
+               port: int = 8321) -> int:
+    """``repro serve`` entry point: serve until SIGINT/SIGTERM, then
+    drain gracefully (running shards finish, job index checkpointed,
+    new submissions 503'd during the drain)."""
+    try:
+        CampaignStore(store)           # fail before binding the port
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    async def main() -> int:
+        service = CampaignService(store, workers=workers, host=host,
+                                  port=port)
+        bound = await service.start()
+        print(f"repro service on http://{host}:{bound} "
+              f"(store {service.store.root}, "
+              f"{service.scheduler.total_slots} worker slots)",
+              file=sys.stderr, flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("draining: running shards finish, new submissions get "
+              "503...", file=sys.stderr, flush=True)
+        await service.stop()
+        return 0
+
+    return asyncio.run(main())

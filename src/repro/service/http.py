@@ -1,0 +1,235 @@
+"""A minimal HTTP/1.1 layer on ``asyncio`` streams — no framework.
+
+Just enough protocol for the campaign service: request-line + header
+parsing with size caps, JSON bodies, path-parameter routing
+(``/v1/jobs/{id}/events``), fixed-length responses, and streamed
+responses (NDJSON / SSE) that end by closing the connection.  Every
+connection serves exactly one request — simple, robust under many
+concurrent clients, and exactly what ``http.client`` handles natively.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from dataclasses import dataclass, field
+from typing import (
+    AsyncIterator, Awaitable, Callable, Dict, List, Optional, Tuple,
+)
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+logger = logging.getLogger(__name__)
+
+MAX_HEADERS = 100
+MAX_BODY = 4 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Maps to an HTTP error response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]            # keys lower-cased
+    body: bytes = b""
+    #: path parameters bound by the router ({id} -> value)
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def json(self):
+        if not self.body:
+            raise HttpError(400, "expected a JSON body")
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise HttpError(400, f"bad JSON body: {exc}")
+
+    def wants_sse(self) -> bool:
+        return "text/event-stream" in self.headers.get("accept", "")
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    #: when set, ``body`` is ignored and chunks from this async
+    #: iterator are written as they come; the stream ends by closing
+    #: the connection (no Content-Length)
+    stream: Optional[AsyncIterator[bytes]] = None
+
+
+def json_response(payload, status: int = 200) -> Response:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status=status, body=body)
+
+
+def text_response(text: str, status: int = 200) -> Response:
+    return Response(status=status, body=text.encode("utf-8"),
+                    content_type="text/plain; charset=utf-8")
+
+
+def error_response(status: int, message: str) -> Response:
+    return json_response({"error": message, "status": status},
+                         status=status)
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+class Router:
+    """Method + path-pattern dispatch with ``{param}`` segments."""
+
+    def __init__(self):
+        self._routes: List[Tuple[str, List[str], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append((method.upper(),
+                             pattern.strip("/").split("/"), handler))
+
+    def resolve(self, method: str, path: str
+                ) -> Tuple[Handler, Dict[str, str]]:
+        segments = [unquote(part)
+                    for part in path.strip("/").split("/")]
+        path_matched = False
+        for route_method, pattern, handler in self._routes:
+            params = _match(pattern, segments)
+            if params is None:
+                continue
+            path_matched = True
+            if route_method == method.upper():
+                return handler, params
+        if path_matched:
+            raise HttpError(405, f"method {method} not allowed "
+                            f"on {path}")
+        raise HttpError(404, f"no route for {path}")
+
+
+def _match(pattern: List[str], segments: List[str]
+           ) -> Optional[Dict[str, str]]:
+    if len(pattern) != len(segments):
+        return None
+    params: Dict[str, str] = {}
+    for expected, actual in zip(pattern, segments):
+        if expected.startswith("{") and expected.endswith("}"):
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[Request]:
+    """Parse one request; None on a closed/empty connection."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many headers")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise HttpError(400, "bad Content-Length")
+        if size > MAX_BODY:
+            raise HttpError(413, f"body over {MAX_BODY} bytes")
+        body = await reader.readexactly(size)
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query))
+    return Request(method=method.upper(), path=parts.path,
+                   query=query, headers=headers, body=body)
+
+
+async def write_response(writer: asyncio.StreamWriter,
+                         response: Response) -> None:
+    head = [f"HTTP/1.1 {response.status} "
+            f"{REASONS.get(response.status, 'Unknown')}",
+            f"Content-Type: {response.content_type}",
+            "Connection: close"]
+    if response.stream is None:
+        head.append(f"Content-Length: {len(response.body)}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(response.body)
+        await writer.drain()
+        return
+    head.append("Cache-Control: no-cache")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+    async for chunk in response.stream:
+        writer.write(chunk)
+        await writer.drain()
+
+
+class HttpServer:
+    """One-request-per-connection asyncio HTTP server."""
+
+    def __init__(self, router: Router):
+        self.router = router
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self, host: str, port: int) -> int:
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                handler, params = self.router.resolve(request.method,
+                                                      request.path)
+                request.params = params
+                response = await handler(request)
+            except HttpError as exc:
+                response = error_response(exc.status, exc.message)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:   # noqa: BLE001 — 500, not a crash
+                logger.exception("handler error")
+                response = error_response(
+                    500, f"{type(exc).__name__}: {exc}")
+            await write_response(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -1,0 +1,162 @@
+"""The job model and the multi-tenant FIFO+priority fair queue.
+
+Pure data structures — no asyncio, no I/O — so queue semantics are
+unit-testable in isolation.  The scheduler owns the asyncio side.
+
+Queue semantics
+---------------
+
+* Within one tenant, jobs run highest **priority** first and FIFO
+  within a priority (submission order breaks ties).
+* Across tenants, dispatch is **round-robin**: each time a tenant's
+  job is picked, that tenant rotates to the back, so a tenant with a
+  thousand queued jobs cannot starve a tenant with one.
+* A job is only *admissible* when its worker-slot request fits the
+  free slots **and** no other job is currently running against the
+  same stored campaign (the journal has a single writer).  The queue
+  skips inadmissible heads rather than blocking the line behind them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.injection.campaign import CampaignConfig
+from repro.store.manifest import CampaignManifest
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED,
+                        JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted campaign and its full lifecycle."""
+
+    id: str
+    tenant: str
+    priority: int
+    workers: int
+    config: CampaignConfig
+    campaign_id: str                  # manifest identity (dedupe key)
+    seq: int                          # global submission order
+    state: JobState = JobState.QUEUED
+    #: set by the cancel endpoint; the progress callback observes it
+    #: at the next batch boundary and aborts the run
+    cancel_requested: bool = False
+    done: int = 0
+    total: int = 0
+    #: running outcome tally, updated per merged batch
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: sha256 over the full canonical result stream, set on completion
+    digest: Optional[str] = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def view(self) -> dict:
+        """The JSON status view served by ``GET /v1/jobs/<id>``."""
+        from repro.service.protocol import config_to_payload
+        return {
+            "id": self.id, "tenant": self.tenant,
+            "priority": self.priority, "workers": self.workers,
+            "state": self.state.value,
+            "cancel_requested": self.cancel_requested,
+            "campaign_id": self.campaign_id,
+            "config": config_to_payload(self.config),
+            "done": self.done, "total": self.total,
+            "counts": dict(self.counts),
+            "digest": self.digest, "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+def campaign_identity(config: CampaignConfig) -> str:
+    """The stored-campaign identity a config maps to (dedupe key)."""
+    return CampaignManifest.from_config(config).campaign_id
+
+
+class FairQueue:
+    """Multi-tenant FIFO+priority queue with round-robin dispatch."""
+
+    def __init__(self):
+        #: per-tenant pending jobs, kept sorted by (-priority, seq)
+        self._pending: Dict[str, List[Job]] = {}
+        #: round-robin order; served tenants rotate to the back
+        self._rotation: List[str] = []
+        self._seq = itertools.count()
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    def __len__(self) -> int:
+        return sum(len(jobs) for jobs in self._pending.values())
+
+    def pending(self, tenant: Optional[str] = None) -> List[Job]:
+        if tenant is not None:
+            return list(self._pending.get(tenant, ()))
+        return [job for tenant_name in self._rotation
+                for job in self._pending[tenant_name]]
+
+    def push(self, job: Job) -> None:
+        queue = self._pending.get(job.tenant)
+        if queue is None:
+            queue = self._pending[job.tenant] = []
+            self._rotation.append(job.tenant)
+        queue.append(job)
+        queue.sort(key=lambda item: (-item.priority, item.seq))
+
+    def remove(self, job: Job) -> bool:
+        """Drop a queued job (cancellation); True when it was queued."""
+        queue = self._pending.get(job.tenant)
+        if queue is None or job not in queue:
+            return False
+        queue.remove(job)
+        self._drop_if_empty(job.tenant)
+        return True
+
+    def _drop_if_empty(self, tenant: str) -> None:
+        if not self._pending.get(tenant):
+            self._pending.pop(tenant, None)
+            self._rotation.remove(tenant)
+
+    def pop_next(self, free_slots: int,
+                 busy_campaigns: Set[str]) -> Optional[Job]:
+        """Pick the next admissible job, or None when nothing fits.
+
+        Tenants are scanned in rotation order; within a tenant, jobs
+        in priority-then-FIFO order.  Inadmissible jobs (too many
+        slots requested, or their stored campaign already has a
+        running writer) are skipped, not blocking.  The serving
+        tenant rotates to the back.
+        """
+        for position, tenant in enumerate(self._rotation):
+            for job in self._pending[tenant]:
+                if job.workers > free_slots:
+                    continue
+                if job.campaign_id in busy_campaigns:
+                    continue
+                self._pending[tenant].remove(job)
+                self._rotation.pop(position)
+                if self._pending[tenant]:
+                    self._rotation.append(tenant)
+                else:
+                    del self._pending[tenant]
+                return job
+        return None

@@ -163,3 +163,17 @@ def canonical_json(payload) -> str:
     must never drift between writer and verifier.
     """
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def results_digest(results) -> str:
+    """sha256 over the canonical encoding of a full result stream.
+
+    The campaign-equivalence fingerprint: two runs (serial vs sharded,
+    direct vs through the service, uninterrupted vs killed-and-resumed)
+    are bit-identical exactly when their digests match.  The digest
+    pinning tests and the service's job-completion digest both use it.
+    """
+    import hashlib
+    payload = canonical_json([result_to_dict(result)
+                              for result in results])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -27,12 +27,18 @@ def _as_store(store) -> CampaignStore:
 
 
 def run_with_store(campaign, store, resume: bool = False,
-                   progress=None, workers: int = 1):
+                   progress=None, workers: int = 1,
+                   progress_callback=None):
     """Execute *campaign* with write-ahead journaling and resume.
 
     Returns the same ``CampaignResult`` the plain run would; results
     present in the journal are reused (decoded, not re-injected),
     pending global indices are injected serially or across *workers*.
+    *progress_callback* is the batch form ``(done, total, batch)``;
+    on a resume its first batch is the already-journaled prefix, and
+    every later batch is journaled before the callback sees it, so a
+    callback that raises (service-side cancellation) aborts the run
+    without losing completed work.
     """
     from repro.injection.campaign import CampaignResult
 
@@ -44,18 +50,27 @@ def run_with_store(campaign, store, resume: bool = False,
             (index, targets[index]) for index in range(total)
             if index not in opened.done]
         done_base = total - len(pending)
-        if progress is not None and done_base:
-            progress(done_base, total)
+        if done_base:
+            if progress_callback is not None:
+                progress_callback(done_base, total,
+                                  sorted(opened.done.items()))
+            if progress is not None:
+                progress(done_base, total)
 
         failures: list = []
         if pending and workers > 1:
             from repro.injection.parallel import run_items
             _merged, failures = run_items(
                 campaign, pending, workers, progress=progress,
-                sink=opened.record, done_base=done_base, total=total)
+                sink=opened.record, done_base=done_base, total=total,
+                progress_callback=progress_callback)
         elif pending:
             for offset, (index, target) in enumerate(pending):
-                opened.record(index, campaign.run_target(index, target))
+                result = campaign.run_target(index, target)
+                opened.record(index, result)
+                if progress_callback is not None:
+                    progress_callback(done_base + offset + 1, total,
+                                      [(index, result)])
                 if progress is not None:
                     progress(done_base + offset + 1, total)
 

@@ -73,11 +73,21 @@ class VerifyReport:
 
 
 class CampaignStore:
-    """A directory of durable campaigns."""
+    """A directory of durable campaigns.
 
-    def __init__(self, root):
+    With ``create=False`` the store is opened read-only-ish: a missing
+    root raises :class:`StoreError` instead of being silently created
+    — the right behavior for inspection paths (``store ls``/``export``,
+    the service read endpoints) where a typo'd directory should be an
+    error, not a fresh empty store.
+    """
+
+    def __init__(self, root, create: bool = True):
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise StoreError(f"no store directory at {self.root}")
 
     # -- layout ------------------------------------------------------------
 

@@ -159,3 +159,127 @@ class TestCommands:
             capture_output=True, text=True, timeout=60)
         assert proc.returncode == 0
         assert "study" in proc.stdout
+
+
+class TestServiceParser:
+    def test_serve_args(self):
+        args = build_parser().parse_args(["serve", "--store", "/tmp/s"])
+        assert args.store == "/tmp/s"
+        assert args.workers == 2
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        args = build_parser().parse_args(
+            ["serve", "--store", "/tmp/s", "--workers", "4",
+             "--host", "0.0.0.0", "--port", "0"])
+        assert args.workers == 4 and args.port == 0
+
+    def test_serve_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_args(self):
+        args = build_parser().parse_args(
+            ["submit", "--kind", "register", "--arch", "ppc",
+             "-n", "10", "--tenant", "team-a", "--priority", "3",
+             "--workers", "2", "--wait", "--timeout", "60",
+             "--url", "http://127.0.0.1:9999"])
+        assert args.kind == "register" and args.count == 10
+        assert args.tenant == "team-a" and args.priority == 3
+        assert args.wait and args.timeout == 60.0
+        assert args.url == "http://127.0.0.1:9999"
+        defaults = build_parser().parse_args(
+            ["submit", "--kind", "stack"])
+        assert defaults.tenant == "default"
+        assert defaults.priority == 0
+        assert not defaults.wait
+
+    def test_jobs_and_cancel_args(self):
+        args = build_parser().parse_args(
+            ["jobs", "--tenant", "t", "--state", "done"])
+        assert args.tenant == "t" and args.state == "done"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs", "--state", "bogus"])
+        args = build_parser().parse_args(["cancel", "job-000001"])
+        assert args.job == "job-000001"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cancel"])
+
+    def test_submit_prune_dead_requires_code(self):
+        with pytest.raises(SystemExit):
+            main(["submit", "--kind", "stack", "--prune-dead"])
+
+
+class TestStoreErrorPaths:
+    """Satellite: store subcommands fail cleanly — exit 1 and a
+    one-line stderr message, never a traceback."""
+
+    def test_ls_missing_store(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["store", "ls", missing]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no store directory" in err
+
+    def test_export_missing_store(self, tmp_path, capsys):
+        assert main(["store", "export", str(tmp_path / "nope"),
+                     "some-campaign", str(tmp_path / "o.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_export_unknown_campaign(self, tmp_path, capsys):
+        from repro.store import CampaignStore
+        CampaignStore(tmp_path / "s")      # create an empty store
+        assert main(["store", "export", str(tmp_path / "s"),
+                     "no-such-campaign", str(tmp_path / "o.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_ls_corrupt_manifest(self, tmp_path, capsys):
+        import json as json_mod
+        from repro.store import CampaignStore
+        from repro.injection.campaign import CampaignConfig
+        from repro.injection.outcomes import CampaignKind
+        store = CampaignStore(tmp_path / "s")
+        opened = store.open(CampaignConfig(
+            arch="x86", kind=CampaignKind.DATA, count=4, seed=0,
+            ops=36))
+        opened.close()
+        manifest_path = (store.campaign_dir(opened.manifest.campaign_id)
+                         / "manifest.json")
+        payload = json_mod.loads(manifest_path.read_text())
+        payload["count"] = 999             # breaks the manifest hash
+        manifest_path.write_text(json_mod.dumps(payload))
+        assert main(["store", "ls", str(tmp_path / "s")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "hash mismatch" in err
+
+    def test_ls_missing_store_subprocess_no_traceback(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "store", "ls",
+             str(tmp_path / "nope")],
+            capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 1
+        assert "Traceback" not in proc.stderr
+        assert proc.stderr.startswith("error:")
+
+
+class TestServiceCommands:
+    def test_client_commands_against_dead_daemon(self, capsys):
+        import socket
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        url = f"http://127.0.0.1:{port}"    # nothing listens here
+        assert main(["submit", "--kind", "stack", "-n", "5",
+                     "--url", url]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["jobs", "--url", url]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["cancel", "job-000000", "--url", url]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_missing_parent_is_created(self, tmp_path):
+        # `repro serve --store` on a fresh dir must not fail before
+        # binding: run_daemon validates by creating the store
+        from repro.store import CampaignStore
+        CampaignStore(tmp_path / "fresh")
+        assert (tmp_path / "fresh").is_dir()

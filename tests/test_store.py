@@ -372,3 +372,83 @@ class TestCollectorReset:
         # the aggregate equals a standalone stack campaign's — the
         # data campaign's records did not leak in
         assert x86_context.collector.count == standalone_count
+
+
+class TestConcurrentReaders:
+    """One writer appending, many readers replaying: every read is a
+    consistent prefix.  ``replay(truncate=False)`` is the service's
+    read path — it must tolerate (and never repair) a half-written
+    tail while the writer still owns the file."""
+
+    def test_reader_sees_prefix_past_inflight_tail(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        results = [(index, _result(index)) for index in range(5)]
+        with Journal(path) as journal:
+            for index, result in results:
+                journal.append(index, result)
+        intact = path.read_bytes()
+        # a writer mid-append: half of a sixth record on disk
+        torn = encode_record(5, _result(5))[:30].encode()
+        path.write_bytes(intact + torn)
+        report = replay(path, truncate=False)
+        assert report.records == results
+        assert report.truncated_bytes == len(torn)
+        # the reader did NOT truncate the writer's in-flight bytes
+        assert path.read_bytes() == intact + torn
+
+    def test_store_results_while_appending(self, tmp_path):
+        import threading
+
+        store = CampaignStore(tmp_path)
+        config = _config(count=120)
+        campaign_id = CampaignManifest.from_config(config).campaign_id
+        opened = store.open(config)
+        expected = [_result(index) for index in range(120)]
+        errors = []
+        observed_lengths = []
+        writer_done = threading.Event()
+
+        def reader():
+            try:
+                last = 0
+                while not writer_done.is_set() or last < 120:
+                    seen = store.results(campaign_id)
+                    # consistent prefix: index order, no holes, no
+                    # record ever differs from what was written
+                    assert seen == expected[:len(seen)]
+                    assert len(seen) >= last       # monotone growth
+                    last = len(seen)
+                    observed_lengths.append(last)
+                    if last == 120:
+                        break
+            except Exception as exc:   # noqa: BLE001 — re-raised below
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        for index, result in enumerate(expected):
+            opened.record(index, result)
+        writer_done.set()
+        opened.close()
+        for thread in readers:
+            thread.join(60)
+            assert not thread.is_alive()
+        assert not errors, errors
+        # the readers genuinely raced the writer (some saw partials)
+        assert max(observed_lengths) == 120
+
+    def test_open_create_false_missing_store(self, tmp_path):
+        from repro.store.store import StoreError
+        missing = tmp_path / "never-created"
+        with pytest.raises(StoreError, match="no store directory"):
+            CampaignStore(missing, create=False)
+        assert not missing.exists()    # create=False really is no-op
+
+    def test_results_digest_is_order_and_content_bound(self):
+        from repro.store.codec import results_digest
+        results = [_result(index) for index in range(6)]
+        digest = results_digest(results)
+        assert digest == results_digest(list(results))   # deterministic
+        assert digest != results_digest(results[::-1])   # order matters
+        assert digest != results_digest(results[:-1])    # content matters
