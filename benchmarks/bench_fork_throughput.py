@@ -23,6 +23,7 @@ import time
 
 import pytest
 
+from benchmarks import common
 from repro.injection.campaign import (
     Campaign, CampaignConfig, CampaignContext,
 )
@@ -60,6 +61,11 @@ def test_bench_fork_rate(benchmark, booted):
     speedup = state["cow"] / state["eager"]
     print(f"\n[{booted.arch}] eager: {state['eager']:.0f} forks/s, "
           f"COW: {state['cow']:.0f} forks/s ({speedup:.1f}x)")
+    common.emit(common.env_json_path(), "fork_rate",
+                arch=booted.arch, forks=FORKS,
+                eager_per_s=round(state["eager"], 1),
+                cow_per_s=round(state["cow"], 1),
+                speedup=round(speedup, 3))
     assert speedup >= MIN_SPEEDUP, (
         f"{booted.arch}: COW fork only {speedup:.2f}x eager baseline")
 
@@ -105,3 +111,7 @@ def test_bench_injection_throughput(benchmark, workers):
           f"{state['elapsed']:.2f}s = "
           f"{COUNT / state['elapsed']:.1f} inj/s "
           f"({os.cpu_count()} cores)")
+    common.emit(common.env_json_path(), "injection_throughput",
+                arch="x86", kind="data", workers=workers, count=COUNT,
+                seconds=round(state["elapsed"], 3),
+                injections_per_s=round(COUNT / state["elapsed"], 2))

@@ -18,6 +18,7 @@ import time
 
 import pytest
 
+from benchmarks import common
 from repro.injection.campaign import (
     Campaign, CampaignConfig, CampaignContext,
 )
@@ -53,6 +54,10 @@ def test_bench_parallel_register_campaign(benchmark, workers,
     print(f"\nworkers={workers}: {COUNT} injections in "
           f"{state['elapsed']:.2f}s = {throughput:.1f} inj/s "
           f"({os.cpu_count()} cores)")
+    common.emit(common.env_json_path(), "parallel_campaign",
+                arch="x86", kind="register", workers=workers,
+                count=COUNT, seconds=round(state["elapsed"], 3),
+                injections_per_s=round(throughput, 2))
 
 
 @pytest.mark.parametrize("exec_mode", ["step", "block"])
@@ -79,3 +84,7 @@ def test_bench_campaign_exec_mode(benchmark, exec_mode,
     print(f"\nexec_mode={exec_mode}: {COUNT} injections in "
           f"{state['elapsed']:.2f}s = {COUNT / state['elapsed']:.1f} "
           f"inj/s")
+    common.emit(common.env_json_path(), "campaign_exec_mode",
+                arch="x86", kind="register", exec_mode=exec_mode,
+                count=COUNT, seconds=round(state["elapsed"], 3),
+                injections_per_s=round(COUNT / state["elapsed"], 2))

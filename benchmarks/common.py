@@ -1,0 +1,57 @@
+"""Shared benchmark plumbing: machine-readable result emission.
+
+Every bench that prints a human-readable measurement can also append it
+to a JSON Lines trajectory file — one self-describing object per line,
+append-only, so script-mode gates and pytest-benchmark suites can share
+one file across a CI run without read-modify-write races.
+
+* script-mode benches (``python benchmarks/bench_*.py``) take
+  ``--json PATH`` via :func:`add_json_argument`;
+* pytest-benchmark suites honor the ``REPRO_BENCH_JSON`` environment
+  variable instead, since pytest owns their command line.
+
+Each row carries the bench name, the measured metrics, and enough
+host context (timestamp, core count) to chart a performance trajectory
+across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+ENV_VAR = "REPRO_BENCH_JSON"
+
+
+def add_json_argument(parser) -> None:
+    """Attach the shared ``--json PATH`` option to a script-mode bench."""
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="append one JSON line per measurement to PATH "
+             f"(pytest-mode benches use ${ENV_VAR} instead)")
+
+
+def env_json_path() -> Optional[Path]:
+    """Trajectory path for pytest-mode benches (``None`` = don't emit)."""
+    path = os.environ.get(ENV_VAR)
+    return Path(path) if path else None
+
+
+def emit(path: Optional[Path], bench: str, **metrics) -> dict:
+    """Record one measurement row; append it to *path* when given.
+
+    Returns the row either way, so callers can also print or assert on
+    exactly what was (or would have been) written.
+    """
+    row = {"bench": bench, "unix_time": round(time.time(), 3),
+           "cpus": os.cpu_count(), **metrics}
+    if path is not None:
+        path = Path(path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return row

@@ -122,6 +122,16 @@ def _add_exec_mode(parser: argparse.ArgumentParser) -> None:
         "the plain interpreter")
 
 
+def _add_checkpoints(parser: argparse.ArgumentParser) -> None:
+    from repro.checkpoint.ladder import DEFAULT_CHECKPOINTS
+    parser.add_argument(
+        "--checkpoints", type=int, default=DEFAULT_CHECKPOINTS,
+        metavar="N",
+        help="clean-run snapshots to dispatch experiments from "
+        f"(default {DEFAULT_CHECKPOINTS}; 0 disables; bit-identical "
+        "results either way, skipping the pre-trigger replay)")
+
+
 def _check_store_args(args: argparse.Namespace) -> None:
     if args.resume and not args.store:
         raise SystemExit("--resume requires --store DIR")
@@ -133,7 +143,8 @@ def cmd_study(args: argparse.Namespace) -> int:
                          ops=args.ops, workers=args.workers,
                          store=args.store, resume=args.resume,
                          prune="dead" if args.prune_dead else "none",
-                         exec_mode=args.exec_mode)
+                         exec_mode=args.exec_mode,
+                         checkpoints=args.checkpoints)
     study = Study(config)
     for arch in ("x86", "ppc"):
         for kind in CampaignKind:
@@ -159,7 +170,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                            progress_callback=_progress_printer()
                            if args.progress else None,
                            prune="dead" if args.prune_dead else "none",
-                           exec_mode=args.exec_mode)
+                           exec_mode=args.exec_mode,
+                           checkpoints=args.checkpoints)
     if args.prune_dead:
         print(f"prune-dead: {outcome.pruned_draws} draw(s) rejected "
               f"and redrawn", file=sys.stderr)
@@ -399,6 +411,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
     config = {"arch": args.arch, "kind": args.kind,
               "count": args.count, "seed": args.seed, "ops": args.ops,
               "exec_mode": args.exec_mode,
+              "checkpoints": args.checkpoints,
               "prune": "dead" if args.prune_dead else "none"}
     try:
         out = client.submit(config, tenant=args.tenant,
@@ -488,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store(study)
     _add_prune(study)
     _add_exec_mode(study)
+    _add_checkpoints(study)
     study.set_defaults(func=cmd_study)
 
     campaign = sub.add_parser("campaign", help="run one campaign")
@@ -501,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store(campaign)
     _add_prune(campaign)
     _add_exec_mode(campaign)
+    _add_checkpoints(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
     store = sub.add_parser("store",
@@ -556,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="--wait timeout in seconds")
     _add_prune(submit)
     _add_exec_mode(submit)
+    _add_checkpoints(submit)
     _add_url(submit)
     submit.set_defaults(func=cmd_submit)
 

@@ -1,0 +1,15 @@
+"""Clean-run checkpoint ladder: skip the pre-trigger replay.
+
+See :mod:`repro.checkpoint.ladder` for the placement policy and the
+seed-invariance argument that makes checkpoint dispatch bit-identical
+to the from-boot path.
+"""
+
+from repro.checkpoint.ladder import (
+    DEFAULT_CHECKPOINTS, Checkpoint, CheckpointLadder, build_ladder,
+)
+
+__all__ = [
+    "DEFAULT_CHECKPOINTS", "Checkpoint", "CheckpointLadder",
+    "build_ladder",
+]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.checkpoint.ladder import DEFAULT_CHECKPOINTS
 from repro.injection.outcomes import CampaignKind
 
 #: Paper Table 1: Experiment Setup Summary.
@@ -76,6 +77,9 @@ class StudyConfig:
     #: execution core for every campaign machine ("block" | "step");
     #: results are bit-identical either way (see repro.compile)
     exec_mode: str = "block"
+    #: clean-run snapshots per campaign context (0 disables); results
+    #: are bit-identical either way (see repro.checkpoint)
+    checkpoints: int = DEFAULT_CHECKPOINTS
     overrides: Dict[str, Dict[CampaignKind, int]] = field(
         default_factory=dict)
 

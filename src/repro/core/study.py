@@ -63,7 +63,8 @@ class Study:
             # run unpruned so their identities stay policy-free
             prune=config.prune if kind is CampaignKind.CODE
             else "none",
-            exec_mode=config.exec_mode)
+            exec_mode=config.exec_mode,
+            checkpoints=config.checkpoints)
 
     def _store(self, store=None):
         """Resolve *store* (path or CampaignStore) or the config's."""

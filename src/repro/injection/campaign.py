@@ -18,6 +18,9 @@ import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.checkpoint.ladder import (
+    DEFAULT_CHECKPOINTS, CheckpointLadder, build_ladder,
+)
 from repro.injection.collector import CrashDataCollector
 from repro.injection.injector import InjectionRun, RunSpec
 from repro.injection.outcomes import (
@@ -51,12 +54,22 @@ class CampaignConfig:
     #: execution core for every experiment machine ("block" | "step");
     #: bit-identical results either way, "block" is just faster
     exec_mode: str = "block"
+    #: clean-run snapshots to dispatch experiments from (0 disables);
+    #: like ``exec_mode``, a pure performance knob — bit-identical
+    #: results either way, excluded from campaign identity
+    checkpoints: int = DEFAULT_CHECKPOINTS
 
     def __post_init__(self):
         if self.exec_mode not in ("step", "block"):
             raise ValueError(
                 f"exec_mode must be 'step' or 'block', "
                 f"got {self.exec_mode!r}")
+        if not isinstance(self.checkpoints, int) or \
+                isinstance(self.checkpoints, bool) or \
+                self.checkpoints < 0:
+            raise ValueError(
+                f"checkpoints must be a non-negative integer, "
+                f"got {self.checkpoints!r}")
         if self.prune not in PRUNE_POLICIES:
             raise ValueError(f"unknown prune policy {self.prune!r}; "
                              f"expected one of {PRUNE_POLICIES}")
@@ -119,6 +132,9 @@ class CampaignContext:
                                                     ops=ops)
         self.profile: FunctionProfile = profile_kernel(arch, seed=seed,
                                                        ops=ops)
+        #: checkpoint ladders by rung count, built lazily (one extra
+        #: clean run each) and shared by every campaign on this context
+        self._ladders: Dict[int, CheckpointLadder] = {}
         if self.base_machine.cpu.instret != self.probe.boot_instret:
             raise RuntimeError(
                 "clean-run probe diverged from the base machine: "
@@ -143,6 +159,19 @@ class CampaignContext:
         it so session fixtures can't leak between parametrized arches.
         """
         cls._cache.clear()
+
+    def ladder(self, count: int) -> Optional[CheckpointLadder]:
+        """The *count*-rung checkpoint ladder (built on first use).
+
+        The parallel engine calls this in the parent before spawning
+        workers, so the snapshots travel to every worker through the
+        same fork-inheritance path as the rest of the context.
+        """
+        if count <= 0:
+            return None
+        if count not in self._ladders:
+            self._ladders[count] = build_ladder(self, count)
+        return self._ladders[count]
 
     @property
     def run_window(self) -> tuple:
@@ -207,11 +236,32 @@ class Campaign:
         probe = self.context.probe
         kind = self.config.kind
         if kind is CampaignKind.CODE:
-            return not probe.pc_executed(target.addr)
+            # window-only: an address fetched during boot but never by
+            # the monitored workload cannot trip a breakpoint armed
+            # after the fork point (the injected run starts post-boot)
+            return probe.first_executed_instret(target.addr) is None
         if kind in (CampaignKind.STACK, CampaignKind.DATA):
             return probe.first_access_after(target.at_instret,
                                             target.addr) is None
         return False                      # registers: no screening
+
+    # -- checkpoint selection ----------------------------------------------------
+
+    def _trigger_instret(self, target):
+        """(trigger instret, inclusive) for checkpoint selection.
+
+        Stack/data/register triggers are the generated injection
+        instant; a checkpoint must lie strictly below it (the pending
+        action can fire mid-call before a boundary at the same count).
+        Code triggers are the probe's first window fetch of the target
+        address; a boundary observing that instret still precedes the
+        fetch, so equality is admissible.  ``(None, False)`` means no
+        checkpoint applies (e.g. a screened code address).
+        """
+        if self.config.kind is CampaignKind.CODE:
+            return (self.context.probe.first_executed_instret(
+                target.addr), True)
+        return (target.at_instret, False)
 
     # -- the loop -----------------------------------------------------------------
 
@@ -222,8 +272,20 @@ class Campaign:
         index (``seed + index * 7919``); this is the single place that
         derivation lives, so the serial loop, any sharding, and trace
         replay (:mod:`repro.trace.replay`) all agree on it.
+
+        Checkpoint selection also lives here: with ``checkpoints > 0``
+        the spec carries the latest clean-run snapshot at or before
+        the target's trigger instant, and the injector fast-forwards
+        only the residue (bit-identical, see :mod:`repro.checkpoint`).
         """
         config = self.config
+        checkpoint = None
+        if config.checkpoints > 0:
+            trigger, inclusive = self._trigger_instret(target)
+            if trigger is not None:
+                checkpoint = self.context.ladder(
+                    config.checkpoints).best_for(trigger,
+                                                 inclusive=inclusive)
         return RunSpec(
             base_machine=self.context.base_machine,
             base_programs=self.context.base_programs,
@@ -232,7 +294,8 @@ class Campaign:
             ops=config.ops,
             seed=config.seed + index * 7919,
             dump_loss_probability=config.dump_loss_probability,
-            exec_mode=config.exec_mode)
+            exec_mode=config.exec_mode,
+            checkpoint=checkpoint)
 
     def run_target(self, index: int, target) -> InjectionResult:
         """Run one pre-generated target.
@@ -305,10 +368,12 @@ def run_campaign(arch: str, kind: CampaignKind, count: int,
                  workers: int = 1, store=None, resume: bool = False,
                  progress=None, prune: str = "none",
                  exec_mode: str = "block",
+                 checkpoints: int = DEFAULT_CHECKPOINTS,
                  progress_callback=None) -> CampaignResult:
     """One-call convenience wrapper."""
     config = CampaignConfig(arch=arch, kind=kind, count=count, seed=seed,
-                            ops=ops, prune=prune, exec_mode=exec_mode)
+                            ops=ops, prune=prune, exec_mode=exec_mode,
+                            checkpoints=checkpoints)
     return Campaign(config).run(workers=workers, store=store,
                                 resume=resume, progress=progress,
                                 progress_callback=progress_callback)

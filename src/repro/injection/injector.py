@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.analysis.classify import classify_crash
+from repro.checkpoint.ladder import Checkpoint
 from repro.injection.collector import CrashDataCollector
 from repro.injection.outcomes import (
     CampaignKind, InjectionResult, Outcome,
@@ -34,7 +35,7 @@ from repro.machine.register_semantics import (
     apply_ppc_msr_flip, apply_x86_register_flip,
 )
 from repro.workload.driver import UnixBenchDriver
-from repro.workload.programs import BenchProgram
+from repro.workload.programs import BenchProgram, clone_programs
 
 
 @dataclass
@@ -49,6 +50,11 @@ class RunSpec:
     seed: int
     dump_loss_probability: float = 0.08
     exec_mode: str = "block"
+    #: start from this clean-run snapshot instead of the fork point
+    #: (:mod:`repro.checkpoint`); results are bit-identical either way
+    #: — the snapshot is just further along the same deterministic
+    #: pre-trigger execution
+    checkpoint: Optional[Checkpoint] = None
 
 
 class InjectionRun:
@@ -61,18 +67,28 @@ class InjectionRun:
             seed=spec.seed,
             dump_loss_probability=spec.dump_loss_probability,
             exec_mode=spec.exec_mode)
-        self.machine = spec.base_machine.fork(
-            config=config, collector=self.collector.receive)
-        # clone() once per distinct program object, keeping any
-        # pid->program aliasing the base dict had (as deepcopy's memo did)
-        clones: Dict[int, BenchProgram] = {}
-        programs: Dict[int, BenchProgram] = {}
-        for pid, program in spec.base_programs.items():
-            if id(program) not in clones:
-                clones[id(program)] = program.clone()
-            programs[pid] = clones[id(program)]
+        checkpoint = spec.checkpoint
+        if checkpoint is not None:
+            # time-travel dispatch: fork the snapshot (applying the
+            # per-experiment config exactly as the from-boot fork
+            # does) and restore the driver-side state beside it
+            self.machine = checkpoint.machine.fork(
+                config=config, collector=self.collector.receive)
+            # fork() pets the watchdog at fork-time cycles; the clean
+            # run's last pet is part of the replayed state (hang
+            # detection timestamps feed crash messages)
+            self.machine.watchdog._last_pet = checkpoint.last_pet
+            programs = clone_programs(checkpoint.programs)
+        else:
+            self.machine = spec.base_machine.fork(
+                config=config, collector=self.collector.receive)
+            programs = clone_programs(spec.base_programs)
         self.driver = UnixBenchDriver(
             self.machine, seed=spec.seed, programs=programs)
+        if checkpoint is not None:
+            self.driver.completed_ops = checkpoint.completed_ops
+            self.driver._ops_since_tick = checkpoint.ops_since_tick
+            self.driver._rounds = checkpoint.rounds
         self.activated = False
         self.activation_cycles: Optional[int] = None
         self.activation_instret: Optional[int] = None

@@ -166,6 +166,12 @@ def run_items(campaign: Campaign, items: Sequence[Tuple[int, object]],
         return merged, failures
 
     config = campaign.config
+    if config.checkpoints > 0:
+        # build the ladder once in the parent, *before* the pool
+        # forks: the snapshots ride into every worker through the same
+        # OS-fork inheritance as the rest of the context, so no worker
+        # repays the capture run (see test_checkpoint's regression)
+        campaign.context.ladder(config.checkpoints)
     fail_set = set(fail_shards or ())
     payloads = []
     for shard_index, (start, stop) in enumerate(

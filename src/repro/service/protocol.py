@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.checkpoint.ladder import DEFAULT_CHECKPOINTS
 from repro.core.config import StudyConfig
 from repro.injection.campaign import PRUNE_POLICIES, CampaignConfig
 from repro.injection.outcomes import CampaignKind
@@ -24,10 +25,11 @@ EXEC_MODES = ("block", "step")
 #: arch/kind/count); unknown keys are rejected so a typo'd field name
 #: fails loudly instead of silently running with the default
 CAMPAIGN_FIELDS = ("arch", "kind", "count", "seed", "ops",
-                   "dump_loss_probability", "prune", "exec_mode")
+                   "dump_loss_probability", "prune", "exec_mode",
+                   "checkpoints")
 
 STUDY_FIELDS = ("seed", "scale", "ops", "dump_loss_probability",
-                "min_campaign", "prune", "exec_mode")
+                "min_campaign", "prune", "exec_mode", "checkpoints")
 
 
 class ValidationError(Exception):
@@ -105,7 +107,9 @@ def campaign_config_from_payload(payload) -> CampaignConfig:
             prune=_choice_field(payload, "prune", "none",
                                 PRUNE_POLICIES),
             exec_mode=_choice_field(payload, "exec_mode", "block",
-                                    EXEC_MODES))
+                                    EXEC_MODES),
+            checkpoints=_int_field(payload, "checkpoints",
+                                   DEFAULT_CHECKPOINTS, minimum=0))
     except ValueError as exc:      # e.g. prune on a non-code campaign
         raise ValidationError(str(exc))
 
@@ -129,7 +133,9 @@ def study_configs_from_payload(payload) -> List[CampaignConfig]:
         min_campaign=_int_field(payload, "min_campaign", 40, minimum=1),
         prune=_choice_field(payload, "prune", "none", PRUNE_POLICIES),
         exec_mode=_choice_field(payload, "exec_mode", "block",
-                                EXEC_MODES))
+                                EXEC_MODES),
+        checkpoints=_int_field(payload, "checkpoints",
+                               DEFAULT_CHECKPOINTS, minimum=0))
     configs = []
     for arch in ARCHES:
         for kind in CampaignKind:
@@ -140,7 +146,8 @@ def study_configs_from_payload(payload) -> List[CampaignConfig]:
                 dump_loss_probability=study.dump_loss_probability,
                 prune=study.prune if kind is CampaignKind.CODE
                 else "none",
-                exec_mode=study.exec_mode))
+                exec_mode=study.exec_mode,
+                checkpoints=study.checkpoints))
     return configs
 
 
@@ -152,4 +159,5 @@ def config_to_payload(config: CampaignConfig) -> Dict[str, object]:
         "count": config.count, "seed": config.seed, "ops": config.ops,
         "dump_loss_probability": config.dump_loss_probability,
         "prune": config.prune, "exec_mode": config.exec_mode,
+        "checkpoints": config.checkpoints,
     }

@@ -119,7 +119,11 @@ class Replayer:
             # per-instruction trace events, and a recorder forces the
             # step core anyway — exec_mode is not part of campaign
             # identity, so this never contradicts the manifest
-            exec_mode="step")
+            exec_mode="step",
+            # and always runs from boot: the trace must cover the whole
+            # experiment for dissection, and checkpoints (like
+            # exec_mode) never enter campaign identity
+            checkpoints=0)
         from repro.store import journal as journal_mod
         try:
             report = journal_mod.replay(directory / JOURNAL_NAME,

@@ -54,6 +54,12 @@ class UnixBenchDriver:
         self.programs = programs
         self._ops_since_tick = 0
         self.completed_ops = 0
+        #: scheduling rounds consumed so far; instance state (not a
+        #: ``run()`` local) so a checkpoint-dispatched run resumes the
+        #: livelock budget exactly where the clean run left it — a
+        #: livelock detected from a checkpoint fires at the same round,
+        #: hence the same cycle count, as one detected from boot
+        self._rounds = 0
 
     # -- phases ------------------------------------------------------------
 
@@ -65,18 +71,25 @@ class UnixBenchDriver:
             program.setup(machine, machine.tasks[pid])
         machine._switch_to(0)
 
-    def run(self, ops: int = 60) -> WorkloadResult:
+    def run(self, ops: int = 60, boundary=None) -> WorkloadResult:
         """Run *ops* user operations under scheduler control.
 
         Crashes and hangs propagate as exceptions; a normal return
         means the system survived the monitoring window.
+
+        *boundary*, when given, is called (no arguments) at the top of
+        every scheduling round — between kernel calls, never inside
+        one, so the machine is at an architecturally quiescent point.
+        The checkpoint ladder (:mod:`repro.checkpoint`) captures its
+        snapshots there.
         """
         machine = self.machine
-        rounds = 0
         max_rounds = ops * 40 + 400
         while self.completed_ops < ops:
-            rounds += 1
-            if rounds > max_rounds:
+            if boundary is not None:
+                boundary()
+            self._rounds += 1
+            if self._rounds > max_rounds:
                 # scheduling livelock: user tasks never run again —
                 # "system resources exhausted" (paper Table 2: Hang)
                 from repro.machine.events import HangDetected

@@ -8,6 +8,13 @@ One instrumented run per (architecture, seed, ops) yields:
   error is "activated" when the watchpoint would have fired);
 * the **executed-address set** — used to decide activation of code
   injections (a breakpoint at a never-fetched address never fires);
+* the **first-execution-instret map** — for every address fetched
+  inside the monitored window (after ``driver.setup()``), the instret
+  at which its first fetch began; code injections can only activate at
+  that instant, so it both tightens the activation screen (addresses
+  executed only during boot can never fire a breakpoint in the
+  monitored window) and tells the checkpoint dispatcher
+  (:mod:`repro.checkpoint`) how far it may fast-forward;
 * run-length figures (instret, cycles) used to place injection instants
   uniformly inside the monitoring window.
 
@@ -19,7 +26,7 @@ activation, so the clean trace decides activation exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.machine.machine import Machine, MachineConfig
 from repro.workload.driver import UnixBenchDriver
@@ -35,6 +42,11 @@ class CleanRunProbe:
     ops: int
     accesses: List[AccessRecord]
     executed_pcs: Set[int]
+    #: addr -> instret at which its first *window* fetch began (the
+    #: retirement counter *before* the instruction executed); boot-time
+    #: fetches are excluded, so an address only here when the monitored
+    #: workload actually reaches it
+    first_executed: Dict[int, int]
     boot_instret: int
     total_instret: int
     total_cycles: int
@@ -74,6 +86,16 @@ class CleanRunProbe:
     def pc_executed(self, addr: int) -> bool:
         return addr in self.executed_pcs
 
+    def first_executed_instret(self, addr: int) -> Optional[int]:
+        """Instret before the first *window* fetch of *addr*.
+
+        ``None`` when the monitored workload never fetches the address
+        — including addresses executed only during boot, which
+        ``pc_executed`` reports as executed but which can never trip a
+        breakpoint installed after the fork point.
+        """
+        return self.first_executed.get(addr)
+
     def stack_runtime_ranges(self, allocations: dict,
                              window: int = 256) -> dict:
         """Stack sampling range per task.
@@ -104,7 +126,11 @@ class CleanRunProbe:
 
 
 def _instrument(machine: Machine, accesses: List[AccessRecord],
-                executed: Set[int]) -> None:
+                executed: Set[int],
+                first_cell: List[Dict[int, int]]) -> None:
+    """*first_cell* is a one-element list holding the first-execution
+    map currently being recorded into; swapping the element lets the
+    probe discard boot-time fetches once the window opens."""
     cpu = machine.cpu
     if machine.arch == "x86":
         original_load = cpu.load
@@ -120,7 +146,11 @@ def _instrument(machine: Machine, accesses: List[AccessRecord],
             return original_store(addr, value, width, seg)
 
         def step():
-            executed.add(cpu.eip)
+            pc = cpu.eip
+            executed.add(pc)
+            first = first_cell[0]
+            if pc not in first:
+                first[pc] = cpu.instret
             original_step()
     else:
         original_load = cpu.load
@@ -136,7 +166,11 @@ def _instrument(machine: Machine, accesses: List[AccessRecord],
             return original_store(addr, value, width)
 
         def step():
-            executed.add(cpu.pc & 0xFFFFFFFC)
+            pc = cpu.pc & 0xFFFFFFFC
+            executed.add(pc)
+            first = first_cell[0]
+            if pc not in first:
+                first[pc] = cpu.instret
             original_step()
 
     cpu.load = load
@@ -152,16 +186,21 @@ def probe_clean_run(arch: str, seed: int = 0, ops: int = 60
     machine = Machine(arch, config=MachineConfig(exec_mode="step"))
     accesses: List[AccessRecord] = []
     executed: Set[int] = set()
-    _instrument(machine, accesses, executed)
+    first_cell: List[Dict[int, int]] = [{}]
+    _instrument(machine, accesses, executed, first_cell)
     machine.boot()
     driver = UnixBenchDriver(machine, seed=seed)
     driver.setup()
     boot_instret = machine.cpu.instret
+    # window opens here: discard boot-time first-fetch records so
+    # first_executed covers exactly what an injected run can reach
+    first_cell[0] = {}
     result = driver.run(ops)
     return CleanRunProbe(
         arch=arch, seed=seed, ops=ops,
         accesses=accesses,
         executed_pcs=executed,
+        first_executed=first_cell[0],
         boot_instret=boot_instret,
         total_instret=machine.cpu.instret,
         total_cycles=machine.cpu.cycles,

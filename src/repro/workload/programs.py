@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.kernel.abi import Syscall
 
@@ -85,6 +85,25 @@ class BenchProgram:
     def _check(self, condition: bool, expected: str, actual: str) -> None:
         if not condition:
             self._fsv(expected, actual)
+
+
+def clone_programs(programs: Dict[int, BenchProgram]
+                   ) -> Dict[int, BenchProgram]:
+    """Clone a pid->program dict, preserving any aliasing.
+
+    ``clone()`` runs once per distinct program object and pids that
+    shared a program keep sharing the clone — the same object graph
+    ``copy.deepcopy``'s memo would have produced.  Both the injector
+    and the checkpoint ladder hand every run its own program set this
+    way.
+    """
+    clones: Dict[int, BenchProgram] = {}
+    out: Dict[int, BenchProgram] = {}
+    for pid, program in programs.items():
+        if id(program) not in clones:
+            clones[id(program)] = program.clone()
+        out[pid] = clones[id(program)]
+    return out
 
 
 def _pattern(seed: int, length: int) -> bytes:

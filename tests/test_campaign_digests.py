@@ -19,6 +19,16 @@ result was verified bit-identical against a snapshot of the old
 payloads before the new hashes were written, so the recording still
 pins the pre-COW behavior — the digests changed only because the
 serialization grew two fields.
+
+The two ``code`` digests were re-recorded once more when the
+activation screen tightened to window-only first fetches (the
+checkpoint-ladder PR): two code targets per arch land in functions
+executed only during boot, which the old screen let run to a full
+NOT_ACTIVATED simulation and the new screen proves inert up front.
+Before re-recording, the old screen was re-applied under the new code
+and reproduced every old digest, and a field-by-field diff confirmed
+the only change on any result is ``screened: false -> true`` with the
+outcome staying NOT_ACTIVATED — the behavior pin is intact.
 """
 
 from __future__ import annotations
@@ -44,20 +54,22 @@ def _digest(result) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _run_and_check(key, workers, exec_mode, x86_context, ppc_context):
+def _run_and_check(key, workers, exec_mode, x86_context, ppc_context,
+                   checkpoints=None):
     arch, kind_name = key.split("/")
     recorded = DIGESTS[key]
+    extra = {} if checkpoints is None else {"checkpoints": checkpoints}
     config = CampaignConfig(arch=arch, kind=_KINDS[kind_name],
                             count=recorded["count"],
                             seed=recorded["seed"], ops=recorded["ops"],
-                            exec_mode=exec_mode)
+                            exec_mode=exec_mode, **extra)
     context = x86_context if arch == "x86" else ppc_context
     result = Campaign(config, context).run(workers=workers)
     assert result.injected == recorded["count"]
     assert not result.failures
     assert _digest(result) == recorded["sha256"], (
-        f"{key} (workers={workers}, exec_mode={exec_mode}) diverged "
-        f"from the pre-COW recording")
+        f"{key} (workers={workers}, exec_mode={exec_mode}, "
+        f"checkpoints={checkpoints}) diverged from the recording")
 
 
 @pytest.mark.parametrize(
@@ -82,3 +94,16 @@ def test_step_mode_still_matches(key, x86_context, ppc_context):
     block-core bug cannot hide behind a matching step-core bug (and
     ``exec_mode`` demonstrably never enters campaign identity)."""
     _run_and_check(key, 1, "step", x86_context, ppc_context)
+
+
+@pytest.mark.parametrize(
+    "key", sorted(DIGESTS),
+    ids=[key.replace("/", "-") for key in sorted(DIGESTS)])
+def test_checkpoints_disabled_still_matches(key, x86_context,
+                                            ppc_context):
+    """``checkpoints=0`` (from-boot dispatch) pins to the same digests
+    the default checkpointed runs above match — checkpoint dispatch is
+    demonstrably invisible to results, and ``checkpoints`` never
+    enters campaign identity."""
+    _run_and_check(key, 1, "block", x86_context, ppc_context,
+                   checkpoints=0)
