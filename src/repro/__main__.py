@@ -107,11 +107,25 @@ def _progress_printer(label: str = ""):
 
 
 def _add_prune(parser: argparse.ArgumentParser) -> None:
+    from repro.injection.campaign import PRUNE_POLICIES
+    parser.add_argument(
+        "--prune", choices=list(PRUNE_POLICIES), default=None,
+        help="redraw code targets the static analyzer proves inert: "
+        "'dead' skips decode-identical flips and unreachable code, "
+        "'taint' additionally skips corruptions the taint engine "
+        "proves die before reaching any sink; code campaigns only")
     parser.add_argument(
         "--prune-dead", action="store_true",
-        help="redraw code targets landing on bits the static "
-        "analyzer proves inert (decode-identical flips, unreachable "
-        "code); code campaigns only")
+        help="shorthand for --prune=dead")
+
+
+def _resolve_prune(args: argparse.Namespace) -> str:
+    if args.prune is not None:
+        if args.prune_dead and args.prune != "dead":
+            raise SystemExit(
+                f"--prune-dead conflicts with --prune={args.prune}")
+        return args.prune
+    return "dead" if args.prune_dead else "none"
 
 
 def _add_exec_mode(parser: argparse.ArgumentParser) -> None:
@@ -142,7 +156,7 @@ def cmd_study(args: argparse.Namespace) -> int:
     config = StudyConfig(seed=args.seed, scale=args.scale,
                          ops=args.ops, workers=args.workers,
                          store=args.store, resume=args.resume,
-                         prune="dead" if args.prune_dead else "none",
+                         prune=_resolve_prune(args),
                          exec_mode=args.exec_mode,
                          checkpoints=args.checkpoints)
     study = Study(config)
@@ -161,20 +175,21 @@ def cmd_study(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     _check_store_args(args)
     kind = CampaignKind(args.kind)
-    if args.prune_dead and kind is not CampaignKind.CODE:
-        raise SystemExit("--prune-dead requires --kind code")
+    prune = _resolve_prune(args)
+    if prune != "none" and kind is not CampaignKind.CODE:
+        raise SystemExit(f"--prune={prune} requires --kind code")
     outcome = run_campaign(args.arch, kind, count=args.count,
                            seed=args.seed, ops=args.ops,
                            workers=args.workers,
                            store=args.store, resume=args.resume,
                            progress_callback=_progress_printer()
                            if args.progress else None,
-                           prune="dead" if args.prune_dead else "none",
+                           prune=prune,
                            exec_mode=args.exec_mode,
                            checkpoints=args.checkpoints)
-    if args.prune_dead:
-        print(f"prune-dead: {outcome.pruned_draws} draw(s) rejected "
-              f"and redrawn", file=sys.stderr)
+    if prune != "none":
+        print(f"prune={prune}: {outcome.pruned_draws} draw(s) "
+              f"rejected and redrawn", file=sys.stderr)
     row = build_row(kind, outcome.results)
     print(render_table([row],
                        "Pentium 4" if args.arch == "x86" else "PPC G4"))
@@ -249,7 +264,7 @@ def cmd_static(args: argparse.Namespace) -> int:
     reports = []
     for arch in arches:
         print(f"analyzing {arch} kernel image...", file=sys.stderr)
-        report = analyze_kernel(arch)
+        report = analyze_kernel(arch, taint=args.taint)
         reports.append(report)
         print(report.render())
         print(f"  histogram digest: {report.digest()}")
@@ -258,7 +273,7 @@ def cmd_static(args: argparse.Namespace) -> int:
         print(compare_rates(reports))
     if args.validate:
         from repro.analysis.validate_static import (
-            validate_code_campaign,
+            distance_latency_probe, validate_code_campaign,
         )
         for report in reports:
             print(f"\nrunning {args.validate}-injection dynamic code "
@@ -271,6 +286,13 @@ def cmd_static(args: argparse.Namespace) -> int:
             validation = validate_code_campaign(outcome.results,
                                                 report)
             print(validation.render())
+            if args.taint:
+                print(f"probing distance-vs-latency agreement on "
+                      f"{report.arch} (traced)...", file=sys.stderr)
+                agreement = distance_latency_probe(
+                    report.arch, seed=args.seed, ops=args.ops,
+                    per_distance=2, max_distance=8)
+                print(agreement.render())
     return 0
 
 
@@ -405,14 +427,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceError
-    if args.prune_dead and args.kind != "code":
-        raise SystemExit("--prune-dead requires --kind code")
+    prune = _resolve_prune(args)
+    if prune != "none" and args.kind != "code":
+        raise SystemExit(f"--prune={prune} requires --kind code")
     client = _service_client(args)
     config = {"arch": args.arch, "kind": args.kind,
               "count": args.count, "seed": args.seed, "ops": args.ops,
               "exec_mode": args.exec_mode,
               "checkpoints": args.checkpoints,
-              "prune": "dead" if args.prune_dead else "none"}
+              "prune": prune}
     try:
         out = client.submit(config, tenant=args.tenant,
                             priority=args.priority,
@@ -627,9 +650,16 @@ def build_parser() -> argparse.ArgumentParser:
     static.add_argument("--seed", type=int, default=0)
     static.add_argument("--ops", type=int, default=48)
     static.add_argument(
+        "--taint", action="store_true",
+        help="run the interprocedural taint engine: per-bit "
+        "propagation verdicts (sink/dead/escape), distance-to-sink "
+        "bounds, and taint-proven-masked bits (--prune=taint)")
+    static.add_argument(
         "--validate", type=_positive_int, metavar="N",
         help="also run an N-injection dynamic code campaign per arch "
-        "and print the predicted-vs-measured confusion matrix")
+        "and print the predicted-vs-measured confusion matrix "
+        "(with --taint: plus the distance-vs-latency agreement "
+        "check)")
     static.add_argument("--progress", action="store_true",
                         help="print periodic injected/total lines")
     _add_workers(static)

@@ -71,8 +71,9 @@ class StudyConfig:
     workers: int = 1
     store: Optional[str] = None
     resume: bool = False
-    #: "dead" redraws code targets the static analyzer proves inert
-    #: (applies to the code campaigns only; see repro.static)
+    #: "dead" redraws code targets the static analyzer proves inert;
+    #: "taint" additionally redraws bits the taint engine proves
+    #: masked (applies to the code campaigns only; see repro.static)
     prune: str = "none"
     #: execution core for every campaign machine ("block" | "step");
     #: results are bit-identical either way (see repro.compile)

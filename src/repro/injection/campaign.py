@@ -35,7 +35,7 @@ from repro.workload.profiler import FunctionProfile, profile_kernel
 logger = logging.getLogger(__name__)
 
 #: valid ``CampaignConfig.prune`` policies
-PRUNE_POLICIES = ("none", "dead")
+PRUNE_POLICIES = ("none", "dead", "taint")
 
 
 @dataclass
@@ -47,9 +47,11 @@ class CampaignConfig:
     ops: int = 48                        # monitored workload window
     dump_loss_probability: float = 0.08
     profile_coverage: float = 0.95
-    #: "none", or "dead" to redraw code targets landing on bits the
+    #: "none"; "dead" to redraw code targets landing on bits the
     #: static analyzer proves inert (decode-identical flips and
-    #: unreachable code); code campaigns only
+    #: unreachable code); or "taint" to additionally redraw bits the
+    #: taint engine proves masked (the corruption dies on every
+    #: static path before reaching a sink); code campaigns only
     prune: str = "none"
     #: execution core for every experiment machine ("block" | "step");
     #: bit-identical results either way, "block" is just faster
@@ -204,14 +206,18 @@ class Campaign:
             if self.config.prune == "dead":
                 from repro.static.predictor import dead_code_bits
                 prune_bits = dead_code_bits(self.config.arch)
+            elif self.config.prune == "taint":
+                from repro.static.predictor import taint_masked_bits
+                prune_bits = taint_masked_bits(self.config.arch)
             targets = generator.code_targets(self.config.count,
                                              prune_bits=prune_bits)
             self.pruned_draws = generator.pruned_draws
             if prune_bits is not None:
                 logger.info(
-                    "prune-dead (%s): %d prunable bits; %d draw(s) "
-                    "rejected and redrawn", self.config.arch,
-                    len(prune_bits), self.pruned_draws)
+                    "prune=%s (%s): %d prunable bits; %d draw(s) "
+                    "rejected and redrawn", self.config.prune,
+                    self.config.arch, len(prune_bits),
+                    self.pruned_draws)
             return targets
         if kind is CampaignKind.STACK:
             machine = context.base_machine

@@ -14,14 +14,23 @@ anything, from the compiled images alone:
 * :mod:`repro.static.corruption` — for every (text address, bit), the
   decode-level consequence of flipping it (illegal opcode, length
   change, opcode/operand substitution, no decode change);
+* :mod:`repro.static.sinks` — failure-sink taxonomy: the program
+  points where a wrong register value becomes observable behaviour
+  (address computations, stores, control transfers, supervisor
+  state, trap operands, return values);
+* :mod:`repro.static.taint` — interprocedural, flow-sensitive taint
+  propagation from a corruption site to the first sink (or a proof
+  that the taint dies on every path), with memoized call summaries
+  and a static distance-to-sink bound;
 * :mod:`repro.static.predictor` — folds reachability + liveness +
-  corruption class into a per-bit predicted outcome, emitted as a
-  :class:`repro.static.report.StaticSensitivityReport`.
+  corruption class + taint verdict into a per-bit predicted outcome,
+  emitted as a :class:`repro.static.report.StaticSensitivityReport`.
 
 ``analysis.validate_static`` compares a report against a dynamic
 ``CampaignResult``; ``TargetGenerator.code_targets(prune=...)`` uses
-the report's provably-dead bit set to skip injections that cannot
-manifest.
+the report's provably-dead bit set (``--prune=dead``) or its
+taint-proven-masked superset (``--prune=taint``) to skip injections
+that cannot manifest.
 """
 
 from repro.static.cfg import BasicBlock, FunctionCFG, KernelCFG, build_cfg
@@ -29,9 +38,14 @@ from repro.static.corruption import CorruptionClass, classify_flip
 from repro.static.effects import InsnEffects, insn_effects
 from repro.static.liveness import LivenessResult, compute_liveness
 from repro.static.predictor import (
-    PredictedOutcome, analyze_image, analyze_kernel,
+    PredictedOutcome, analyze_image, analyze_kernel, clear_caches,
+    dead_code_bits, taint_masked_bits,
 )
 from repro.static.report import BitPrediction, StaticSensitivityReport
+from repro.static.sinks import SINK_KINDS, sink_triggers
+from repro.static.taint import (
+    SinkHit, TaintEngine, TaintVerdict, transfer,
+)
 
 __all__ = [
     "BasicBlock",
@@ -42,11 +56,20 @@ __all__ = [
     "KernelCFG",
     "LivenessResult",
     "PredictedOutcome",
+    "SINK_KINDS",
+    "SinkHit",
     "StaticSensitivityReport",
+    "TaintEngine",
+    "TaintVerdict",
     "analyze_image",
     "analyze_kernel",
     "build_cfg",
     "classify_flip",
+    "clear_caches",
     "compute_liveness",
+    "dead_code_bits",
     "insn_effects",
+    "sink_triggers",
+    "taint_masked_bits",
+    "transfer",
 ]

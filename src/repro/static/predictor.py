@@ -1,4 +1,5 @@
-"""Fold reachability + liveness + corruption class into predictions.
+"""Fold reachability + liveness + corruption class + taint into
+per-bit predictions.
 
 Decision procedure for one (instruction, bit), in order:
 
@@ -19,20 +20,35 @@ Decision procedure for one (instruction, bit), in order:
      change → ``MANIFESTED`` (bad paging / bad area);
    * the stack/frame pointer becomes a destination → ``MANIFESTED``
      (every later frame access goes wild);
-   * otherwise only register dataflow changed → ``NOT_MANIFESTED``:
-     if every register that could now hold a wrong value (old defs ∪
-     new defs) is dead, this is a *provable* ``DEAD_WRITE``;
-     otherwise the corruption reaches live data but campaigns show
-     such value substitutions are predominantly masked (overwritten,
-     compared equal, or never part of the workload's result) — the
-     paper's own explanation for its large non-manifestation counts.
+   * otherwise only register dataflow changed, and the taint engine
+     (:mod:`repro.static.taint`) decides: seed the registers the
+     flip can wrong (old defs ∪ new defs) and follow them —
 
-That last rule is the calibrated one: structural damage (illegal
-decode, stream desync, wild memory, control flow, supervisor state)
-predicts a crash; plain wrong-value-in-register predicts masking.
-Validation against dynamic code campaigns
-(``analysis/validate_static.py``) measures exactly how often each
-side of that bet loses.
+     - **provable death** (liveness kills the seed immediately, or
+       the taint fixpoint shows every tainted resource overwritten
+       before any sink) → ``NOT_MANIFESTED``, proof-backed; the
+       ``DEAD_WRITE`` class marks the immediate-liveness case;
+     - **sink within the calibrated horizon** — the wrong value
+       feeds a memory address within ``MEM_SINK_HORIZON``
+       instructions, a supervisor/trap operand anywhere, or
+       (when control conditions are its only reachable effect) a
+       branch decision within ``CONTROL_ONLY_WINDOW`` →
+       ``MANIFESTED``, with the evidence chain and the
+       distance-to-sink bound recorded on the prediction;
+     - anything else (escape, distant sink, workload-output-only
+       sink) → ``NOT_MANIFESTED``, the calibrated fallback —
+       campaigns show long-range value substitutions are
+       predominantly masked (overwritten, compared equal, or never
+       part of the workload's result), the paper's own explanation
+       for its large non-manifestation counts.
+
+Pruning soundness: a bit is *taint-prunable* (safe to skip under
+``--prune=taint``) only when its death proof holds under the dynamic
+fault model too — the substituted instruction must not be a block
+terminator and must keep an identical fault surface (same operation
+and memory access, destination-register change only) so the corrupted
+run cannot fault where the clean run does not.  ``dead_bits`` keeps
+PR 4's stricter decode-identical/unreachable-only meaning.
 """
 
 from __future__ import annotations
@@ -42,17 +58,41 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.kcc.linker import KernelImage
 from repro.kernel.build import build_kernel
-from repro.static.cfg import KernelCFG, build_cfg
-from repro.static.corruption import CorruptionClass, classify_flip
+from repro.static.cfg import AnyInstr, KernelCFG, build_cfg
+from repro.static.corruption import (
+    _PPC_SEMANTIC_SLOTS, _X86_SEMANTIC_SLOTS, CorruptionClass,
+    classify_flip,
+)
 from repro.static.effects import InsnEffects, insn_effects
 from repro.static.liveness import LivenessResult, compute_liveness
 from repro.static.report import (
     BitPrediction, PredictedOutcome, StaticSensitivityReport,
 )
+from repro.static.taint import TaintEngine, TaintVerdict, VERDICT_DEAD
+from repro.x86.insn import Instr
 
 #: stack/frame registers: corrupting them derails every later access
 _PIVOT_REGS = {"x86": frozenset({"esp", "ebp"}),
                "ppc": frozenset({"r1"})}
+
+#: a ``mem-addr`` sink within this many instructions of the
+#: corruption predicts a manifestation: the wrong value becomes a
+#: pointer before anything can overwrite or mask it.  Farther
+#: address sinks are predominantly re-ranged (index arithmetic,
+#: rebounded loops) before dereference — calibrated against the
+#: deterministic validation campaigns (tests/test_validate_static.py)
+MEM_SINK_HORIZON = 2
+
+#: when the taint's *only* reachable sinks are control conditions,
+#: nothing can mask the wrong value — its entire downstream effect
+#: is a branch decision.  Distance 1 (the adjacent compare→branch
+#: pair) still masks dynamically: a substituted comparison usually
+#: reaches the same verdict on related operands.  Calibrated window.
+CONTROL_ONLY_WINDOW = (2, 4)
+
+#: sink kinds that predict a manifestation at any distance: a wrong
+#: privileged operand or trap operand has no masking story at all
+ALWAYS_MANIFEST_SINKS = frozenset({"supervisor", "trap-operand"})
 
 
 def _substitution_manifests(arch: str, orig: InsnEffects,
@@ -83,19 +123,59 @@ def _substitution_manifests(arch: str, orig: InsnEffects,
     changed = orig.defs | flipped.defs
     if changed & _PIVOT_REGS[arch]:
         return True
-    # pure register dataflow: predominantly masked dynamically
+    # pure register dataflow: the taint engine decides
     return False
+
+
+def _same_fault_surface(orig: AnyInstr, flipped: AnyInstr) -> bool:
+    """True when the substitution provably cannot change *where or
+    whether* the instruction faults: same operation, and every
+    operand field except the pure-destination register is identical
+    (so any memory access has the same address and width)."""
+    if orig.execute is not flipped.execute:
+        return False
+    if isinstance(orig, Instr):
+        slots: Tuple[str, ...] = _X86_SEMANTIC_SLOTS
+        dest = "reg"
+    else:
+        slots = _PPC_SEMANTIC_SLOTS
+        dest = "rt"
+    return all(getattr(orig, s) == getattr(flipped, s)
+               for s in slots if s != dest)
+
+
+def _taint_prune_eligible(orig_eff: InsnEffects,
+                          flip_eff: InsnEffects, orig_insn: AnyInstr,
+                          flip_insn: AnyInstr) -> bool:
+    """A taint death proof licenses pruning only when the dynamic
+    fault model agrees with the static one: no terminator semantics
+    involved (a condition-sense substitution changes behaviour
+    without changing any tracked definition) and an unchanged fault
+    surface (a substituted divisor or load address could fault where
+    the clean run does not)."""
+    if orig_eff.is_terminator or flip_eff.is_terminator:
+        return False
+    if not (orig_eff.may_fault or flip_eff.may_fault):
+        return True
+    return _same_fault_surface(orig_insn, flip_insn)
 
 
 def analyze_image(arch: str, image: KernelImage,
                   cfg: Optional[KernelCFG] = None,
-                  liveness: Optional[LivenessResult] = None
-                  ) -> StaticSensitivityReport:
-    """Predict the outcome of every (addr, bit) in a kernel image."""
+                  liveness: Optional[LivenessResult] = None,
+                  taint: bool = True) -> StaticSensitivityReport:
+    """Predict the outcome of every (addr, bit) in a kernel image.
+
+    ``taint=False`` skips the propagation engine (every pure-dataflow
+    substitution takes the calibrated fallback, as in PR 4); the
+    pinned digests and the ``--prune=taint`` bit set require the
+    default ``taint=True``.
+    """
     if cfg is None:
         cfg = build_cfg(arch, image)
     if liveness is None:
         liveness = compute_liveness(cfg)
+    engine = TaintEngine(cfg) if taint else None
 
     predictions: Dict[Tuple[int, int], BitPrediction] = {}
     insn_count = 0
@@ -107,8 +187,8 @@ def analyze_image(arch: str, image: KernelImage,
                 live_out = liveness.live_out.get(node.addr, frozenset())
                 for bit in range(node.length * 8):
                     predictions[(node.addr, bit)] = _predict_bit(
-                        arch, image, node.addr, bit, node.effects,
-                        reachable, live_out)
+                        arch, image, node.addr, bit, node.insn,
+                        node.effects, reachable, live_out, engine)
 
     return StaticSensitivityReport(
         arch=arch,
@@ -121,9 +201,31 @@ def analyze_image(arch: str, image: KernelImage,
     )
 
 
+def _sink_manifests(verdict: TaintVerdict) -> bool:
+    """The calibrated sink policy (see the module docstring and the
+    horizon constants above).  The ``store-data`` and
+    ``workload-output`` sinks only say the wrong value *escaped the
+    register file*, not that the run fails — campaigns show those
+    predominantly masked, so they never predict a manifestation on
+    their own."""
+    kinds = {hit.kind for hit in verdict.sinks}
+    if kinds & ALWAYS_MANIFEST_SINKS:
+        return True
+    if any(hit.kind == "mem-addr"
+           and hit.distance <= MEM_SINK_HORIZON
+           for hit in verdict.sinks):
+        return True
+    if kinds == {"control"}:
+        low, high = CONTROL_ONLY_WINDOW
+        return any(low <= hit.distance <= high
+                   for hit in verdict.sinks)
+    return False
+
+
 def _predict_bit(arch: str, image: KernelImage, addr: int, bit: int,
-                 orig_effects: InsnEffects, reachable: bool,
-                 live_out: FrozenSet[str]) -> BitPrediction:
+                 orig_insn: AnyInstr, orig_effects: InsnEffects,
+                 reachable: bool, live_out: FrozenSet[str],
+                 engine: Optional[TaintEngine]) -> BitPrediction:
     corruption, flipped = classify_flip(arch, image, addr, bit)
     if corruption is CorruptionClass.NO_CHANGE:
         outcome = (PredictedOutcome.NOT_MANIFESTED if reachable
@@ -140,27 +242,66 @@ def _predict_bit(arch: str, image: KernelImage, addr: int, bit: int,
     if _substitution_manifests(arch, orig_effects, flipped_effects):
         return BitPrediction(addr, bit, corruption,
                              PredictedOutcome.MANIFESTED)
-    # benign register substitution: promote to DEAD_WRITE only when
-    # liveness *proves* nothing reads the changed registers
+    # pure register dataflow: follow the wrong values
     changed = orig_effects.defs | flipped_effects.defs
+    eligible = _taint_prune_eligible(orig_effects, flipped_effects,
+                                     orig_insn, flipped)
     if not (changed & live_out):
-        corruption = CorruptionClass.DEAD_WRITE
-    return BitPrediction(addr, bit, corruption,
-                         PredictedOutcome.NOT_MANIFESTED)
+        # liveness proves the seed dead on the spot — the degenerate
+        # (distance-zero) taint death proof
+        return BitPrediction(addr, bit, CorruptionClass.DEAD_WRITE,
+                             PredictedOutcome.NOT_MANIFESTED,
+                             verdict=VERDICT_DEAD,
+                             taint_prunable=eligible)
+    if engine is None:
+        return BitPrediction(addr, bit, corruption,
+                             PredictedOutcome.NOT_MANIFESTED)
+    verdict = engine.propagate(addr, frozenset(changed))
+    if verdict.provably_dead:
+        return BitPrediction(addr, bit, corruption,
+                             PredictedOutcome.NOT_MANIFESTED,
+                             verdict=verdict.verdict,
+                             taint_prunable=eligible)
+    outcome = (PredictedOutcome.MANIFESTED if _sink_manifests(verdict)
+               else PredictedOutcome.NOT_MANIFESTED)
+    return BitPrediction(addr, bit, corruption, outcome,
+                         verdict=verdict.verdict, sink=verdict.sink,
+                         distance=verdict.distance,
+                         evidence=verdict.path)
 
 
-def analyze_kernel(arch: str) -> StaticSensitivityReport:
+def analyze_kernel(arch: str,
+                   taint: bool = True) -> StaticSensitivityReport:
     """Build (or fetch the cached) kernel image and analyze it."""
     image = build_kernel(arch)
-    return analyze_image(arch, image)
+    return analyze_image(arch, image, taint=taint)
 
 
 @lru_cache(maxsize=None)
 def dead_code_bits(arch: str) -> FrozenSet[Tuple[int, int]]:
-    """The provably-prunable (addr, bit) pairs of an arch's kernel.
+    """The provably-prunable (addr, bit) pairs of an arch's kernel
+    under the strict PR 4 rule: decode-identical flips and
+    statically-unreachable code only.
 
     Cached per process: the campaign engine calls this once per
-    ``--prune-dead`` campaign (including once per worker process),
+    ``--prune=dead`` campaign (including once per worker process),
     and the set is a pure function of the deterministic kernel build.
     """
-    return analyze_kernel(arch).dead_bits
+    return analyze_kernel(arch, taint=False).dead_bits
+
+
+@lru_cache(maxsize=None)
+def taint_masked_bits(arch: str) -> FrozenSet[Tuple[int, int]]:
+    """The (addr, bit) pairs prunable under ``--prune=taint``: the
+    strict dead set plus every bit whose corruption the taint engine
+    proves masked (``taint_prunable`` predictions).  Cached like
+    :func:`dead_code_bits`."""
+    report = analyze_kernel(arch)
+    return report.dead_bits | report.taint_masked_bits
+
+
+def clear_caches() -> None:
+    """Drop the module-level per-arch analysis caches (test isolation
+    hook, mirroring ``CampaignContext.clear_cache``)."""
+    dead_code_bits.cache_clear()
+    taint_masked_bits.cache_clear()

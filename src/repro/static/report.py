@@ -13,9 +13,10 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.static.corruption import CorruptionClass
+from repro.static.taint import VERDICTS
 
 
 class PredictedOutcome(enum.Enum):
@@ -43,6 +44,21 @@ class BitPrediction:
     bit: int
     corruption: CorruptionClass
     outcome: PredictedOutcome
+    #: taint verdict for pure-dataflow substitutions ("sink" |
+    #: "dead" | "escape"); ``None`` when the decision never reached
+    #: the taint engine
+    verdict: Optional[str] = None
+    #: kind of the nearest sink the taint reached (see
+    #: :mod:`repro.static.sinks`)
+    sink: Optional[str] = None
+    #: static distance-to-sink bound, in instructions
+    distance: Optional[int] = None
+    #: evidence chain: corruption address, block starts along the
+    #: shortest discovered route, sink address
+    evidence: Tuple[int, ...] = ()
+    #: the taint death proof also holds under the dynamic fault
+    #: model: safe to skip under ``--prune=taint``
+    taint_prunable: bool = False
 
     @property
     def prunable(self) -> bool:
@@ -88,10 +104,36 @@ class StaticSensitivityReport:
         return counts
 
     @property
+    def verdict_counts(self) -> Dict[str, int]:
+        """Taint verdict histogram ("none" = never reached taint)."""
+        counts: Dict[str, int] = {v: 0 for v in VERDICTS}
+        counts["none"] = 0
+        for pred in self.predictions.values():
+            counts[pred.verdict or "none"] += 1
+        return counts
+
+    @property
+    def sink_counts(self) -> Dict[str, int]:
+        """Nearest-sink-kind histogram over sink-verdict bits."""
+        counts: Dict[str, int] = {}
+        for pred in self.predictions.values():
+            if pred.sink is not None:
+                counts[pred.sink] = counts.get(pred.sink, 0) + 1
+        return counts
+
+    @property
     def dead_bits(self) -> FrozenSet[Tuple[int, int]]:
         """The prunable (addr, bit) pairs (see BitPrediction.prunable)."""
         return frozenset(key for key, pred in self.predictions.items()
                          if pred.prunable)
+
+    @property
+    def taint_masked_bits(self) -> FrozenSet[Tuple[int, int]]:
+        """The (addr, bit) pairs whose corruption the taint engine
+        proves masked *and* whose proof survives the dynamic fault
+        model (``BitPrediction.taint_prunable``)."""
+        return frozenset(key for key, pred in self.predictions.items()
+                         if pred.taint_prunable)
 
     @property
     def predicted_manifestation_rate(self) -> float:
@@ -112,7 +154,9 @@ class StaticSensitivityReport:
     # -- digests ------------------------------------------------------
 
     def histogram(self) -> Dict[str, object]:
-        """Canonical summary used for the pinned CI digest."""
+        """Canonical summary used for the pinned CI digest (v2: the
+        taint verdict/sink histograms and the taint-prunable count
+        joined in PR 9)."""
         return {
             "arch": self.arch,
             "text_bytes": self.text_bytes,
@@ -123,6 +167,9 @@ class StaticSensitivityReport:
             "bit_count": self.bit_count,
             "class_counts": self.class_counts,
             "outcome_counts": self.outcome_counts,
+            "verdict_counts": self.verdict_counts,
+            "sink_counts": self.sink_counts,
+            "taint_masked": len(self.taint_masked_bits),
         }
 
     def digest(self) -> str:
@@ -152,10 +199,28 @@ class StaticSensitivityReport:
                                   key=lambda kv: -kv[1]):
             pct = 100.0 * count / max(1, self.bit_count)
             lines.append(f"    {name:<14} {count:>8}  ({pct:5.1f}%)")
+        verdicts = self.verdict_counts
+        if any(verdicts[v] for v in VERDICTS):
+            lines.append("  taint verdicts (pure-dataflow bits):")
+            for name in VERDICTS:
+                count = verdicts[name]
+                if count:
+                    pct = 100.0 * count / max(1, self.bit_count)
+                    lines.append(
+                        f"    {name:<14} {count:>8}  ({pct:5.1f}%)")
+            sinks = self.sink_counts
+            if sinks:
+                lines.append("  nearest sinks:")
+                for name, count in sorted(sinks.items(),
+                                          key=lambda kv: -kv[1]):
+                    lines.append(f"    {name:<16} {count:>8}")
         rate = self.predicted_manifestation_rate
         lines.append(f"  predicted manifestation rate "
                      f"(activated bits): {100.0 * rate:.1f}%")
         lines.append(f"  prunable dead bits: {len(self.dead_bits)}")
+        taint_masked = len(self.taint_masked_bits)
+        if taint_masked:
+            lines.append(f"  taint-proven masked bits: {taint_masked}")
         return "\n".join(lines)
 
 

@@ -1,0 +1,138 @@
+"""Failure-sink taxonomy for the taint engine.
+
+A *sink* is a program point where a wrong register value stops being
+"just a wrong value" and becomes observable behaviour — the static
+counterpart of the dynamic crash causes and result corruptions the
+campaigns measure:
+
+* ``mem-addr`` — a tainted register feeds a memory *address*
+  computation (wild load / wild store; the paper's dominant
+  bad-paging / bad-area crash causes);
+* ``store-data`` — a tainted register is *stored*: the wrong value
+  escapes the register file into memory, where the workload (or a
+  later load) can observe it;
+* ``control`` — a tainted resource decides a control transfer: a
+  condition input, an indirect target, a return address;
+* ``supervisor`` — a tainted resource reaches supervisor state
+  (``mtmsr``, segment loads, ``iret``/``rfi`` frames);
+* ``trap-operand`` — a tainted operand of an instruction that can
+  fault on its own (divide error, ``tw``/``twi`` traps): the wrong
+  value can raise an exception the clean run never sees;
+* ``workload-output`` — taint is live in the ABI return-value
+  registers at a function return: the wrong value is the function's
+  *result*, headed for the workload's output.
+
+For each instruction :func:`sink_triggers` lists the (kind, resource
+set) pairs such that taint intersecting the resource set at that
+instruction constitutes a hit.  The split between address and data
+resources is best-effort from the decoded operand fields — both label
+a manifestation, so imprecision there moves a hit between *kinds*,
+never in or out of sink-hood.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from repro.ppc.insn import PPCInstr
+from repro.static.cfg import InsnNode
+from repro.static.effects import (
+    EFLAGS, KIND_BRANCH, KIND_CALL, KIND_CALL_INDIRECT, KIND_JUMP,
+    KIND_JUMP_INDIRECT, KIND_RET, InsnEffects,
+)
+from repro.x86.insn import Instr
+from repro.x86.registers import GPR_NAMES
+
+SINK_MEM_ADDR = "mem-addr"
+SINK_STORE_DATA = "store-data"
+SINK_CONTROL = "control"
+SINK_SUPERVISOR = "supervisor"
+SINK_TRAP = "trap-operand"
+SINK_OUTPUT = "workload-output"
+
+SINK_KINDS: Tuple[str, ...] = (
+    SINK_MEM_ADDR, SINK_STORE_DATA, SINK_CONTROL, SINK_SUPERVISOR,
+    SINK_TRAP, SINK_OUTPUT,
+)
+
+#: ABI return-value registers: taint here at a ``ret`` is a
+#: ``workload-output`` sink (the caller consumes the wrong result)
+RETURN_REGS = {
+    "x86": frozenset({"eax", "edx"}),
+    "ppc": frozenset({"r3", "r4"}),
+}
+
+#: control-transfer kinds whose inputs decide where execution goes
+_CONTROL_KINDS = frozenset({
+    KIND_JUMP, KIND_BRANCH, KIND_JUMP_INDIRECT, KIND_CALL,
+    KIND_CALL_INDIRECT, KIND_RET,
+})
+
+#: x86 implicit-pointer registers (stack pushes/pops, string ops)
+_X86_IMPLICIT_PTRS = frozenset({"esp", "ebp", "esi", "edi"})
+
+Trigger = Tuple[str, FrozenSet[str]]
+
+
+def _address_uses(node: InsnNode) -> FrozenSet[str]:
+    """Registers feeding the memory-address computation, best effort
+    from the decoded operand fields; generic fallback for synthetic
+    instructions (property tests): every non-flag use."""
+    insn, eff = node.insn, node.effects
+    if isinstance(insn, Instr):
+        regs = set()
+        if insn.rm_reg < 0:            # explicit [base + index*scale]
+            if insn.base >= 0:
+                regs.add(GPR_NAMES[insn.base])
+            if insn.index >= 0:
+                regs.add(GPR_NAMES[insn.index])
+        # implicit pointers: push/pop/call/ret via esp, string ops
+        # via esi/edi, leave/enter via ebp
+        regs |= _X86_IMPLICIT_PTRS & eff.uses
+        return frozenset(regs) & eff.uses
+    if isinstance(insn, PPCInstr):
+        if eff.writes_mem:
+            return eff.uses - _ppc_store_data(insn, eff)
+        return eff.uses                # loads: every use feeds the EA
+    return frozenset(r for r in eff.uses if r != EFLAGS)
+
+
+def _ppc_store_data(insn: PPCInstr, eff: InsnEffects) -> FrozenSet[str]:
+    """The registers a PPC store writes to memory (rt, or rt..r31 for
+    ``stmw``)."""
+    if insn.mnemonic == "stmw":
+        return frozenset(f"r{n}" for n in range(insn.rt, 32)) & eff.uses
+    return frozenset({f"r{insn.rt}"}) & eff.uses
+
+
+def sink_triggers(node: InsnNode, arch: str) -> Tuple[Trigger, ...]:
+    """The (sink kind, trigger resources) pairs of one instruction.
+
+    Taint intersecting a trigger set when execution reaches this
+    instruction is a sink hit of that kind.  The ``workload-output``
+    sink is not listed here — it depends on taint *surviving* to a
+    return, which only the engine knows.
+    """
+    eff = node.effects
+    triggers: List[Trigger] = []
+    if eff.reads_mem or eff.writes_mem:
+        addr = _address_uses(node)
+        if addr:
+            triggers.append((SINK_MEM_ADDR, addr))
+        if eff.writes_mem:
+            if isinstance(node.insn, PPCInstr):
+                data = _ppc_store_data(node.insn, eff)
+            else:
+                data = eff.uses - addr - frozenset({EFLAGS})
+            if data:
+                triggers.append((SINK_STORE_DATA, data))
+    if eff.system and eff.uses:
+        triggers.append((SINK_SUPERVISOR, eff.uses))
+    elif eff.may_fault and not (eff.reads_mem or eff.writes_mem) \
+            and eff.uses:
+        # a trap/divide source: wrong operands can raise an exception
+        # the clean run never sees (memory faults are mem sinks)
+        triggers.append((SINK_TRAP, eff.uses))
+    if eff.kind in _CONTROL_KINDS and eff.uses:
+        triggers.append((SINK_CONTROL, eff.uses))
+    return tuple(triggers)

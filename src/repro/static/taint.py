@@ -1,0 +1,557 @@
+"""Interprocedural, flow-sensitive taint propagation over the CFG.
+
+The predictor's hardest cases are pure-dataflow substitutions: the
+flip leaves memory, control flow, and supervisor state alone and
+merely puts a wrong value in a register.  PR 4 settled those with one
+calibrated bet ("predominantly masked").  This module replaces the bet
+with dataflow: seed taint with the registers the flip can wrong (old
+defs ∪ new defs of the corrupted instruction), push it forward through
+per-instruction gen/kill transfer functions to a fixpoint, and
+classify each seed by what the taint reaches:
+
+* a **sink** (:mod:`repro.static.sinks`) — the wrong value feeds a
+  memory address, a store, a control transfer, supervisor state, a
+  trap operand, or the function's return value: predicted to
+  manifest, with the propagation path as an evidence chain and the
+  instruction count from corruption to sink as a static
+  distance-to-sink bound;
+* **provable death** — every tainted resource is overwritten with
+  clean values on every path before reaching any sink: the
+  corruption cannot manifest (modulo the effect model and the ABI
+  conventions kcc emits — the same assumptions liveness makes);
+* **escape** — the taint survives to a point the analysis cannot
+  follow (indirect calls/jumps, returns with taint in live ABI
+  state, unknown tail transfers): neither proof is available and the
+  verdict falls back to PR 4's calibrated rule.
+
+Lattice and fixpoint
+--------------------
+
+The abstract state is the set of tainted resources (registers and
+flag units from :mod:`repro.static.effects`), ordered by inclusion;
+joins are unions, so the per-block worklist fixpoint is a classic
+monotone forward analysis.  The corrupted instruction itself is
+special: the flip is persistent in text, so every execution of that
+address re-wrongs its destinations — its transfer is
+``out = in ∪ seed`` with no kill.
+
+Distances join by minimum, making the reported distance-to-sink a
+*lower bound* on the dynamic instruction count from corruption to
+sink (loops and longer paths can only take more instructions than the
+shortest static path).
+
+Call summaries
+--------------
+
+Direct calls apply per-(function, entry resource) summaries: seed one
+resource at the callee's entry, run the same intra-function analysis,
+and record the sinks hit, the taint still live at returns, whether
+anything escaped, and the shortest entry-to-return distance.
+Summaries are computed lazily and memoized; recursive cycles and
+over-deep chains get a conservative identity summary (taint
+preserved, ``escape=True``), which can never produce a false death
+proof.  Resources the callee provably overwrites kill taint across
+the call; callee-saved state is preserved by the summary's own
+dataflow, not by assumption.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.static.cfg import (
+    BasicBlock, FunctionCFG, InsnNode, KernelCFG,
+)
+from repro.static.effects import (
+    InsnEffects, KIND_BRANCH, KIND_CALL, KIND_CALL_INDIRECT, KIND_HALT,
+    KIND_ILLEGAL, KIND_JUMP, KIND_JUMP_INDIRECT, KIND_RET,
+)
+from repro.static.liveness import PPC_EXIT_LIVE, X86_EXIT_LIVE
+from repro.static.sinks import (
+    RETURN_REGS, SINK_OUTPUT, Trigger, sink_triggers,
+)
+
+#: taint reached a failure sink: predicted to manifest
+VERDICT_SINK = "sink"
+#: taint provably died before any sink: cannot manifest
+VERDICT_DEAD = "dead"
+#: taint left the analysis' view: fall back to the calibrated rule
+VERDICT_ESCAPE = "escape"
+
+VERDICTS: Tuple[str, ...] = (VERDICT_SINK, VERDICT_DEAD, VERDICT_ESCAPE)
+
+#: call-summary chains deeper than this get the conservative
+#: identity summary (escape) instead of recursing further
+MAX_CALL_DEPTH = 12
+
+#: worklist re-walks allowed per block before the fixpoint concedes
+#: with an escape (belt and braces: the join is monotone, so this
+#: should never fire on real CFGs)
+FIXPOINT_BUDGET = 64
+
+#: longest evidence chain kept on a verdict
+MAX_EVIDENCE = 32
+
+_EXIT_LIVE = {"x86": X86_EXIT_LIVE, "ppc": PPC_EXIT_LIVE}
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+def transfer(effects: InsnEffects,
+             taint: FrozenSet[str]) -> FrozenSet[str]:
+    """One instruction's forward taint transfer.
+
+    If the instruction reads any tainted resource its definitions
+    become tainted (gen); otherwise its definitions are overwritten
+    with clean values and leave the taint set (kill).  Monotone in
+    ``taint`` by construction — the hypothesis suite checks this.
+    """
+    if taint & effects.uses:
+        return taint | effects.defs
+    return taint - effects.defs
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """One sink reached by the taint, with a static distance bound."""
+
+    kind: str        # one of sinks.SINK_KINDS
+    addr: int        # instruction address of the sink
+    distance: int    # instructions from the corruption (lower bound)
+
+
+@dataclass(frozen=True)
+class TaintSummary:
+    """Effect of one tainted resource entering a function."""
+
+    #: sinks hit inside the callee (distances from its entry)
+    sinks: Tuple[SinkHit, ...]
+    #: resources still tainted when the callee returns
+    out_taint: FrozenSet[str]
+    #: taint left the analysis' view somewhere inside
+    escape: bool
+    #: shortest entry-to-return distance along a tainted path
+    #: (``None`` when no return was reached with taint alive)
+    ret_distance: Optional[int]
+
+
+#: what a recursive or over-deep call gets: taint preserved, nothing
+#: proven — can never produce a false death proof
+def _conservative_summary(resource: str) -> TaintSummary:
+    return TaintSummary(sinks=(), out_taint=frozenset({resource}),
+                        escape=True, ret_distance=1)
+
+
+@dataclass(frozen=True)
+class TaintVerdict:
+    """Outcome of propagating one corruption seed."""
+
+    verdict: str                     # one of VERDICTS
+    sinks: Tuple[SinkHit, ...]       # ascending distance
+    distance: Optional[int]          # min distance-to-sink bound
+    path: Tuple[int, ...]            # evidence chain to the first sink
+    escapes: Tuple[str, ...]         # why the analysis lost the taint
+
+    @property
+    def reached_sink(self) -> bool:
+        return self.verdict == VERDICT_SINK
+
+    @property
+    def provably_dead(self) -> bool:
+        return self.verdict == VERDICT_DEAD
+
+    @property
+    def sink(self) -> Optional[str]:
+        """Kind of the nearest sink (``None`` without one)."""
+        return self.sinks[0].kind if self.sinks else None
+
+
+class _Collector:
+    """Accumulates sinks, escapes, and return state during one run."""
+
+    def __init__(self) -> None:
+        #: (kind, addr) -> (min distance, block start it was found in)
+        self.sinks: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        self.escapes: Dict[str, None] = {}    # insertion-ordered set
+        self.out_taint: Set[str] = set()
+        self.ret_distance: Optional[int] = None
+
+    def sink(self, kind: str, addr: int, distance: int,
+             block_start: int) -> None:
+        key = (kind, addr)
+        known = self.sinks.get(key)
+        if known is None or distance < known[0]:
+            self.sinks[key] = (distance, block_start)
+
+    def escape(self, reason: str) -> None:
+        self.escapes[reason] = None
+
+    def ret(self, taint: FrozenSet[str], distance: int) -> None:
+        self.out_taint |= taint
+        if self.ret_distance is None or distance < self.ret_distance:
+            self.ret_distance = distance
+
+
+class TaintEngine:
+    """Taint propagation over one kernel image's CFG.
+
+    Verdicts and call summaries are memoized on the engine; build one
+    engine per image (the predictor does) and reuse it for every
+    (address, seed) pair.
+    """
+
+    def __init__(self, cfg: KernelCFG) -> None:
+        self.cfg = cfg
+        self.arch = cfg.arch
+        self._exit_live = _EXIT_LIVE[cfg.arch]
+        self._return_regs = RETURN_REGS[cfg.arch]
+        #: function entry address -> function name
+        self._entry_fn: Dict[int, str] = {
+            f.entry: name for name, f in cfg.functions.items()}
+        self._summaries: Dict[Tuple[str, str], TaintSummary] = {}
+        self._in_progress: Set[Tuple[str, str]] = set()
+        self._verdicts: Dict[Tuple[int, FrozenSet[str]],
+                             TaintVerdict] = {}
+        self._triggers: Dict[Tuple[str, int],
+                             Tuple[Trigger, ...]] = {}
+
+    def clear_cache(self) -> None:
+        """Drop memoized verdicts, summaries, and trigger tables."""
+        self._summaries.clear()
+        self._verdicts.clear()
+        self._triggers.clear()
+
+    # -- public entry points ----------------------------------------------
+
+    def propagate(self, addr: int,
+                  seed: FrozenSet[str]) -> TaintVerdict:
+        """Propagate a corruption seeded at instruction ``addr``.
+
+        ``seed`` is the set of resources the flip can wrong (old defs
+        ∪ new defs).  An empty seed yields an escape verdict — a
+        substitution that changes semantics without changing any
+        tracked definition proves nothing.
+        """
+        seed = frozenset(seed)
+        key = (addr, seed)
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            return cached
+        if not seed:
+            verdict = TaintVerdict(
+                verdict=VERDICT_ESCAPE, sinks=(), distance=None,
+                path=(), escapes=("empty-seed",))
+            self._verdicts[key] = verdict
+            return verdict
+        entry = self.cfg.insn_map.get(addr)
+        if entry is None:
+            raise KeyError(f"address {addr:#x} is not a decoded "
+                           f"instruction of the {self.arch} image")
+        fname, block_start = entry
+        fcfg = self.cfg.functions[fname]
+        col = _Collector()
+        preds = self._fixpoint(fcfg, col, seed_addr=addr,
+                               seed_block=block_start, seed=seed,
+                               summary_mode=False, depth=0)
+        # a top-level run that reaches a return hands the taint to an
+        # unknown caller: live ABI state escaped (``_block_exit``
+        # recorded it); nothing further to do here
+        verdict = self._assemble(addr, col, preds)
+        self._verdicts[key] = verdict
+        return verdict
+
+    def summary(self, fname: str, resource: str,
+                depth: int = 0) -> TaintSummary:
+        """Summary of ``resource`` entering ``fname`` tainted."""
+        key = (fname, resource)
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress or depth >= MAX_CALL_DEPTH:
+            # recursion (or an over-deep chain): conservative identity
+            return _conservative_summary(resource)
+        self._in_progress.add(key)
+        try:
+            fcfg = self.cfg.functions[fname]
+            col = _Collector()
+            self._fixpoint(fcfg, col, seed_addr=None,
+                           seed_block=fcfg.entry,
+                           seed=frozenset({resource}),
+                           summary_mode=True, depth=depth)
+            hits = tuple(sorted(
+                (SinkHit(kind, addr, dist)
+                 for (kind, addr), (dist, _) in col.sinks.items()),
+                key=lambda h: (h.distance, h.kind, h.addr)))
+            summary = TaintSummary(
+                sinks=hits, out_taint=frozenset(col.out_taint),
+                escape=bool(col.escapes),
+                ret_distance=col.ret_distance)
+            self._summaries[key] = summary
+            return summary
+        finally:
+            self._in_progress.discard(key)
+
+    # -- fixpoint driver ---------------------------------------------------
+
+    def _fixpoint(self, fcfg: FunctionCFG, col: _Collector,
+                  seed_addr: Optional[int], seed_block: int,
+                  seed: FrozenSet[str], summary_mode: bool,
+                  depth: int) -> Dict[int, int]:
+        """Worklist fixpoint over ``fcfg``'s blocks.
+
+        Returns the predecessor map (block start -> block start that
+        gave it its minimum distance) for evidence reconstruction.
+        """
+        states: Dict[int, Tuple[FrozenSet[str], int]] = {}
+        preds: Dict[int, int] = {}
+        walks: Dict[int, int] = {}
+        work: Deque[int] = deque()
+
+        def join(succ: int, taint: FrozenSet[str], dist: int,
+                 pred: int) -> None:
+            known = states.get(succ)
+            if known is None:
+                states[succ] = (taint, dist)
+                preds[succ] = pred
+                work.append(succ)
+                return
+            new_taint = known[0] | taint
+            new_dist = min(known[1], dist)
+            if new_taint != known[0] or new_dist != known[1]:
+                if dist < known[1]:
+                    preds[succ] = pred
+                states[succ] = (new_taint, new_dist)
+                work.append(succ)
+
+        if seed_addr is None:
+            # summary mode: the seed is live at the function entry
+            states[seed_block] = (seed, 0)
+            work.append(seed_block)
+        else:
+            # corruption mode: start mid-block, at the seed insn
+            block = fcfg.blocks[seed_block]
+            idx = next(i for i, node in enumerate(block.insns)
+                       if node.addr == seed_addr)
+            out = self._walk(fcfg, block, idx, _EMPTY, 0, seed_addr,
+                             seed, col, summary_mode, depth)
+            if out is not None:
+                for succ in block.succs:
+                    join(succ, out[0], out[1], seed_block)
+
+        while work:
+            start = work.popleft()
+            walks[start] = walks.get(start, 0) + 1
+            if walks[start] > FIXPOINT_BUDGET:
+                col.escape("fixpoint-budget")
+                continue
+            taint_in, dist_in = states[start]
+            block = fcfg.blocks[start]
+            out = self._walk(fcfg, block, 0, taint_in, dist_in,
+                             seed_addr, seed, col, summary_mode,
+                             depth)
+            if out is None:
+                continue
+            for succ in block.succs:
+                join(succ, out[0], out[1], start)
+
+        # sinks found in the seed's own partial walk have no preds
+        # entry; that is fine — the evidence chain is just shorter
+        return preds
+
+    # -- one straight-line walk -------------------------------------------
+
+    def _walk(self, fcfg: FunctionCFG, block: BasicBlock, idx: int,
+              taint: FrozenSet[str], dist: int,
+              seed_addr: Optional[int], seed: FrozenSet[str],
+              col: _Collector, summary_mode: bool,
+              depth: int) -> Optional[Tuple[FrozenSet[str], int]]:
+        """Push taint through ``block.insns[idx:]``; returns the
+        (taint, distance) handed to intra-function successors, or
+        ``None`` when nothing survives to them."""
+        for node in block.insns[idx:]:
+            if node.addr == seed_addr:
+                # the flip is persistent in text: every execution of
+                # this address re-wrongs the seed resources, and the
+                # (substituted) instruction is pure dataflow, so no
+                # sink checks and no kill apply here
+                taint = taint | seed
+                dist += 1
+                continue
+            eff = node.effects
+            if taint:
+                for kind, res in self._sink_triggers(fcfg.name, node):
+                    if taint & res:
+                        col.sink(kind, node.addr, dist, block.start)
+            if eff.kind == KIND_CALL:
+                taint = transfer(eff, taint)
+                if taint:
+                    taint, dist = self._apply_call(
+                        eff.target, taint, dist, col, block.start,
+                        depth)
+                    dist -= 1          # the shared += 1 below
+            elif eff.kind == KIND_CALL_INDIRECT:
+                if taint:
+                    col.escape("indirect-call")
+                taint = transfer(eff, taint)
+            else:
+                taint = transfer(eff, taint)
+            dist += 1
+        if not taint:
+            return None
+        return self._block_exit(fcfg, block, taint, dist, col,
+                                summary_mode, depth)
+
+    def _block_exit(self, fcfg: FunctionCFG, block: BasicBlock,
+                    taint: FrozenSet[str], dist: int, col: _Collector,
+                    summary_mode: bool, depth: int
+                    ) -> Optional[Tuple[FrozenSet[str], int]]:
+        """Apply the terminator's *exit* semantics (where does taint
+        go when control leaves this block — or the function)."""
+        eff = block.terminator.effects
+        kind = eff.kind
+        if kind == KIND_RET:
+            self._leave_function(block.terminator.addr, taint, dist,
+                                 col, summary_mode, block.start)
+            return None
+        if kind in (KIND_ILLEGAL, KIND_HALT):
+            # execution stops with wrong values still in registers;
+            # whether the harness observes them is not decidable here
+            col.escape(f"end-{kind}")
+            return None
+        if kind == KIND_JUMP_INDIRECT:
+            col.escape("indirect-jump")
+            return None
+        if kind == KIND_JUMP and not block.succs:
+            return self._tail_transfer(fcfg, block, eff, taint, dist,
+                                       col, summary_mode, depth)
+        if kind == KIND_BRANCH and eff.target is not None \
+                and eff.target not in fcfg.blocks:
+            # branch into another function's body: not followable
+            col.escape("branch-out")
+        if not block.succs:
+            # falls off the function end (e.g. a noreturn call)
+            col.escape("fall-off")
+            return None
+        return taint, dist
+
+    def _tail_transfer(self, fcfg: FunctionCFG, block: BasicBlock,
+                       eff: InsnEffects, taint: FrozenSet[str],
+                       dist: int, col: _Collector, summary_mode: bool,
+                       depth: int
+                       ) -> Optional[Tuple[FrozenSet[str], int]]:
+        """A jump out of the function: follow it as a tail call when
+        the target is a known function entry, else concede."""
+        callee = self._entry_fn.get(
+            eff.target if eff.target is not None else -1)
+        if callee is None or depth >= MAX_CALL_DEPTH:
+            col.escape("tail-jump")
+            return None
+        out, out_dist = self._apply_call(eff.target, taint, dist, col,
+                                         block.start, depth)
+        if out:
+            # the tail callee returns straight to *our* caller
+            self._leave_function(block.terminator.addr, out, out_dist,
+                                 col, summary_mode, block.start)
+        return None
+
+    def _leave_function(self, addr: int, taint: FrozenSet[str],
+                        dist: int, col: _Collector,
+                        summary_mode: bool, block_start: int) -> None:
+        """Taint alive at a function return."""
+        if summary_mode:
+            # the caller's own walk continues the propagation
+            col.ret(taint, dist)
+            return
+        # top level: the caller is unknown, so apply the ABI contract
+        # the compiler emits — return registers carry the result (a
+        # workload-output sink), other exit-live state escapes, and
+        # everything else is clobber-by-convention (dead on arrival)
+        if taint & self._return_regs:
+            col.sink(SINK_OUTPUT, addr, dist, block_start)
+        if (taint & self._exit_live) - self._return_regs:
+            col.escape("live-at-return")
+
+    def _apply_call(self, target: Optional[int],
+                    taint: FrozenSet[str], dist: int, col: _Collector,
+                    block_start: int, depth: int
+                    ) -> Tuple[FrozenSet[str], int]:
+        """Apply per-resource callee summaries at a direct call."""
+        callee = self._entry_fn.get(target if target is not None
+                                    else -1)
+        if callee is None or depth >= MAX_CALL_DEPTH:
+            col.escape("call-unknown" if callee is None
+                       else "call-depth")
+            return taint, dist + 1     # conservative identity
+        out: Set[str] = set()
+        ret_distance: Optional[int] = None
+        for resource in sorted(taint):
+            summary = self.summary(callee, resource, depth + 1)
+            for hit in summary.sinks:
+                col.sink(hit.kind, hit.addr,
+                         dist + 1 + hit.distance, block_start)
+            if summary.escape:
+                col.escape(f"callee:{callee}")
+            out |= summary.out_taint
+            if summary.ret_distance is not None and \
+                    (ret_distance is None
+                     or summary.ret_distance < ret_distance):
+                ret_distance = summary.ret_distance
+        through = 1 + (ret_distance if ret_distance is not None else 1)
+        return frozenset(out), dist + through
+
+    # -- verdict assembly --------------------------------------------------
+
+    def _sink_triggers(self, fname: str,
+                       node: InsnNode) -> Tuple[Trigger, ...]:
+        key = (fname, node.addr)
+        cached = self._triggers.get(key)
+        if cached is None:
+            cached = sink_triggers(node, self.arch)
+            self._triggers[key] = cached
+        return cached
+
+    def _assemble(self, seed_addr: int, col: _Collector,
+                  preds: Dict[int, int]) -> TaintVerdict:
+        hits = sorted(
+            ((dist, kind, addr, bstart)
+             for (kind, addr), (dist, bstart) in col.sinks.items()))
+        sinks = tuple(SinkHit(kind, addr, dist)
+                      for dist, kind, addr, _ in hits)
+        escapes = tuple(col.escapes)
+        if sinks:
+            first = hits[0]
+            path = self._evidence(seed_addr, first[2], first[3], preds)
+            return TaintVerdict(verdict=VERDICT_SINK, sinks=sinks,
+                                distance=first[0], path=path,
+                                escapes=escapes)
+        if escapes:
+            return TaintVerdict(verdict=VERDICT_ESCAPE, sinks=(),
+                                distance=None, path=(),
+                                escapes=escapes)
+        return TaintVerdict(verdict=VERDICT_DEAD, sinks=(),
+                            distance=None, path=(), escapes=())
+
+    def _evidence(self, seed_addr: int, sink_addr: int,
+                  sink_block: int, preds: Dict[int, int]
+                  ) -> Tuple[int, ...]:
+        """Reconstruct the block chain from the seed to the first
+        sink: seed address, the block starts along the shortest
+        discovered route, then the sink address."""
+        chain: List[int] = []
+        seen: Set[int] = set()
+        start: Optional[int] = sink_block
+        while start is not None and start not in seen \
+                and len(chain) < MAX_EVIDENCE:
+            seen.add(start)
+            chain.append(start)
+            start = preds.get(start)
+        chain.reverse()
+        path = [seed_addr] + chain + [sink_addr]
+        # collapse duplicates from the seed/sink living in chain blocks
+        deduped: List[int] = []
+        for addr in path:
+            if not deduped or deduped[-1] != addr:
+                deduped.append(addr)
+        return tuple(deduped[:MAX_EVIDENCE])

@@ -57,8 +57,8 @@ class CampaignManifest:
     dump_loss_probability: float
     profile_coverage: float
     code_version: str
-    #: target prune policy ("none" | "dead"); part of the identity —
-    #: a pruned campaign draws a different target stream
+    #: target prune policy ("none" | "dead" | "taint"); part of the
+    #: identity — a pruned campaign draws a different target stream
     prune: str = "none"
 
     @classmethod

@@ -1,11 +1,15 @@
 """Static analysis pinned against recorded digests.
 
-``tests/data/static_digests.json`` records, for each arch, the full
-histogram (text size, instruction/function/block counts, unreachable
-blocks, corruption-class counts, predicted-outcome counts) and its
-sha256 — the static counterpart of ``campaign_digests.json``.  Any
-decoder, CFG, liveness, or predictor change that moves a single bit's
-classification fails here and forces a deliberate re-pin.
+``tests/data/static_digests.json`` (format 2) records, for each arch,
+the full histogram (text size, instruction/function/block counts,
+unreachable blocks, corruption-class counts, predicted-outcome
+counts, taint verdict/sink counts, taint-prunable count), its sha256,
+and the prediction-accuracy floor on the deterministic gate campaign
+— the static counterpart of ``campaign_digests.json``.  Any decoder,
+CFG, liveness, predictor, or taint-engine change that moves a single
+bit's classification fails here and forces a deliberate re-pin
+(``scripts/regen_static_digests.py``, which refuses to pin an
+accuracy regression).
 """
 
 from __future__ import annotations
@@ -34,3 +38,38 @@ def test_no_unreachable_block_regression(fixture, request):
     _cfg, _live, report = request.getfixturevalue(fixture)
     pinned = DIGESTS[report.arch]["histogram"]["unreachable_block_count"]
     assert report.unreachable_block_count <= pinned
+
+
+def test_format_and_floors_recorded():
+    assert DIGESTS["version"] == 2
+    for arch in ("x86", "ppc"):
+        entry = DIGESTS[arch]
+        assert entry["histogram"]["taint_masked"] >= 0
+        assert set(entry["histogram"]["verdict_counts"]) == \
+            {"sink", "dead", "escape", "none"}
+        assert 0.0 < entry["accuracy_floor"] < 1.0
+
+
+@pytest.mark.parametrize("fixture,ctx", [
+    ("x86_static", "x86_context"), ("ppc_static", "ppc_context")])
+def test_accuracy_beats_pinned_floor(fixture, ctx, request):
+    """The taint-aware predictor must stay *strictly better* than the
+    calibrated-rule baseline it replaced, on the exact deterministic
+    campaign the floor was pinned against.  Deterministic end to end,
+    so this is a regression pin, not a statistic."""
+    from repro.analysis.validate_static import validate_code_campaign
+    from repro.injection.campaign import Campaign, CampaignConfig
+    from repro.injection.outcomes import CampaignKind
+
+    _cfg, _live, report = request.getfixturevalue(fixture)
+    context = request.getfixturevalue(ctx)
+    gate = DIGESTS["gate_campaign"]
+    config = CampaignConfig(arch=report.arch, kind=CampaignKind.CODE,
+                            count=gate["count"], seed=gate["seed"],
+                            ops=gate["ops"])
+    outcome = Campaign(config, context).run()
+    validation = validate_code_campaign(outcome.results, report)
+    floor = DIGESTS[report.arch]["accuracy_floor"]
+    assert validation.manifestation_accuracy is not None
+    assert validation.manifestation_accuracy > floor, \
+        validation.render()
