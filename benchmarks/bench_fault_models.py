@@ -1,0 +1,76 @@
+"""Fault-model cost and behavior: injections/sec per registered model
+plus the manifestation histogram each produces.
+
+The registry's promise is that a non-default model reuses the whole
+engine — fork, checkpoint dispatch, block exec, sharding — so its
+per-injection cost should track the single-bit baseline (a burst adds
+a handful of extra bit flips; an intermittent fault adds a few
+scheduled re-flips).  The histogram row is the science: the same
+target stream under a harsher model should shift mass from
+not-manifested toward crashes.
+
+Scale with ``REPRO_BENCH_SCALE`` like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.fault_models import (
+    manifestation_histogram, sensitivity_for,
+)
+from repro.faults import available_models, get_model
+from repro.injection.campaign import (
+    Campaign, CampaignConfig, CampaignContext,
+)
+from repro.injection.outcomes import CampaignKind
+
+try:
+    from benchmarks import common
+except ImportError:                      # script mode: sys.path[0] is
+    import common                        # the benchmarks directory
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+COUNT = max(24, int(48 * _SCALE))
+OPS = 24
+KIND = CampaignKind.DATA                 # every shipped model applies
+
+
+@pytest.fixture(scope="module")
+def fault_bench_context() -> CampaignContext:
+    return CampaignContext.get("x86", seed=11, ops=OPS)
+
+
+@pytest.mark.parametrize("model", list(available_models()))
+def test_bench_fault_model_throughput(benchmark, model,
+                                      fault_bench_context):
+    assert get_model(model).applies_to(KIND.value)
+    config = CampaignConfig(arch="x86", kind=KIND, count=COUNT,
+                            seed=11, ops=OPS, fault_model=model)
+    state = {}
+
+    def run_once():
+        start = time.perf_counter()
+        state["result"] = Campaign(config, fault_bench_context).run()
+        state["elapsed"] = time.perf_counter() - start
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+    result = state["result"]
+    assert result.injected == COUNT
+    throughput = COUNT / state["elapsed"]
+    histogram = manifestation_histogram(
+        {model: result.results})[model]
+    row = sensitivity_for(model, "x86", KIND, result.results)
+    print(f"\n[{model}] {COUNT} injections in "
+          f"{state['elapsed']:.2f}s = {throughput:.1f} inj/s; "
+          f"manifested {row.manifested} "
+          f"({row.manifestation_pct:.1f}%): {histogram}")
+    common.emit(common.env_json_path(), "fault_model_throughput",
+                model=model, kind=KIND.value, count=COUNT, ops=OPS,
+                seconds=round(state["elapsed"], 3),
+                injections_per_sec=round(throughput, 2),
+                manifested=row.manifested,
+                histogram=histogram)

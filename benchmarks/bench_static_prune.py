@@ -30,6 +30,11 @@ from repro.injection.campaign import (
 from repro.injection.outcomes import CampaignKind
 from repro.kernel.build import build_kernel
 
+try:
+    from benchmarks import common
+except ImportError:                      # script mode: sys.path[0] is
+    import common                        # the benchmarks directory
+
 _SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 COUNT = max(40, int(80 * _SCALE))
 
@@ -58,6 +63,11 @@ def test_bench_analyzer_wall_time(benchmark, arch):
     print(f"\n[{arch}] {report.bit_count} bits analyzed in "
           f"{state['elapsed']:.2f}s = {bits_per_sec:.0f} bits/s, "
           f"{len(report.dead_bits)} prunable")
+    common.emit(common.env_json_path(), "static_analyzer_wall_time",
+                arch=arch, bits=report.bit_count,
+                prunable=len(report.dead_bits),
+                seconds=round(state["elapsed"], 3),
+                bits_per_sec=round(bits_per_sec, 1))
 
 
 @pytest.mark.parametrize("arch", ["x86", "ppc"])
@@ -92,6 +102,13 @@ def test_bench_prune_throughput(benchmark, arch):
         print(f"  prune={policy:<5} {COUNT / elapsed:7.1f} inj/s, "
               f"{result.activated / elapsed:7.1f} activated inj/s, "
               f"{result.pruned_draws} redraws")
+        common.emit(common.env_json_path(), "static_prune_throughput",
+                    arch=arch, prune=policy, count=COUNT,
+                    seconds=round(elapsed, 3),
+                    injections_per_sec=round(COUNT / elapsed, 2),
+                    activated_per_sec=round(
+                        result.activated / elapsed, 2),
+                    redraws=result.pruned_draws)
     if arch == "x86":
         # no prunable bits: pruning must be a bit-identical no-op
         assert prunable == 0

@@ -26,6 +26,11 @@ from repro.injection.targets import DataTarget
 from repro.store import CampaignStore
 from repro.store.journal import Journal, replay
 
+try:
+    from benchmarks import common
+except ImportError:                      # script mode: sys.path[0] is
+    import common                        # the benchmarks directory
+
 _SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 RECORDS = max(1_000, int(5_000 * _SCALE))
 COUNT = max(24, int(48 * _SCALE))
@@ -56,6 +61,10 @@ def test_bench_journal_append(benchmark, tmp_path):
     rate = RECORDS / state["elapsed"]
     print(f"\njournal append: {RECORDS} records in "
           f"{state['elapsed']:.3f}s = {rate:,.0f} rec/s")
+    common.emit(common.env_json_path(), "store_journal_append",
+                records=RECORDS,
+                seconds=round(state["elapsed"], 3),
+                records_per_sec=round(rate, 1))
 
 
 def test_bench_journal_replay(benchmark, tmp_path):
@@ -75,6 +84,10 @@ def test_bench_journal_replay(benchmark, tmp_path):
     rate = RECORDS / state["elapsed"]
     print(f"\njournal replay: {RECORDS} records in "
           f"{state['elapsed']:.3f}s = {rate:,.0f} rec/s")
+    common.emit(common.env_json_path(), "store_journal_replay",
+                records=RECORDS,
+                seconds=round(state["elapsed"], 3),
+                records_per_sec=round(rate, 1))
 
 
 @pytest.fixture(scope="module")
@@ -105,3 +118,7 @@ def test_bench_store_campaign(benchmark, workers, tmp_path,
     print(f"\nworkers={workers}: {COUNT} journaled injections in "
           f"{state['elapsed']:.2f}s = {throughput:.1f} inj/s "
           f"({os.cpu_count()} cores)")
+    common.emit(common.env_json_path(), "store_campaign",
+                workers=workers, count=COUNT,
+                seconds=round(state["elapsed"], 3),
+                injections_per_sec=round(throughput, 2))

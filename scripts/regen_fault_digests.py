@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/data/fault_model_digests.json``.
+
+One deterministic campaign per non-default fault model per
+architecture (the single-bit model is already pinned by the eight
+``campaign_digests.json`` recordings), hashed with the store codec's
+canonical encoding exactly like the campaign digest gate.  Each model
+runs on the target kind that exercises its distinctive machinery:
+``burst`` on code (multi-bit flips inside one encoding), the
+``intermittent`` retrigger chain on stack, and ``targeted`` on data
+(the only kind it applies to).
+
+Run after any deliberate change to fault-plan derivation, the
+injector's plan execution, or the result codec, and commit the diff —
+the gate (``tests/test_fault_digests.py``) replays these campaigns
+serially, sharded, and with checkpoint dispatch off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.outcomes import CampaignKind
+from repro.store.codec import canonical_json, result_to_dict
+
+OUT = Path(__file__).resolve().parent.parent / "tests" / "data" \
+    / "fault_model_digests.json"
+
+#: model -> the campaign kind its gate campaign runs
+GATE_KINDS = {
+    "burst": CampaignKind.CODE,
+    "intermittent": CampaignKind.STACK,
+    "targeted": CampaignKind.DATA,
+}
+
+#: seed/ops match the test suite's session campaign contexts
+GATE_CAMPAIGN = {"count": 8, "seed": 0, "ops": 36}
+
+
+def main() -> int:
+    digests = {}
+    for arch in ("x86", "ppc"):
+        for model, kind in sorted(GATE_KINDS.items()):
+            config = CampaignConfig(arch=arch, kind=kind,
+                                    fault_model=model,
+                                    **GATE_CAMPAIGN)
+            result = Campaign(config).run()
+            payload = canonical_json(
+                [result_to_dict(r) for r in result.results])
+            digest = hashlib.sha256(payload.encode()).hexdigest()
+            print(f"{arch}/{model} ({kind.value}): {digest[:16]}",
+                  file=sys.stderr)
+            digests[f"{arch}/{model}"] = {
+                "kind": kind.value, "sha256": digest,
+                **GATE_CAMPAIGN}
+    OUT.write_text(json.dumps(digests, indent=2, sort_keys=True)
+                   + "\n")
+    print(f"wrote {OUT}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,10 @@ Commands
     optionally dump the trace (``--trace``), diff against the clean
     twin (``--diff``), or print the three-stage breakdown
     (``--stages``).
+``faults``
+    List the registered fault models (``repro faults list``): name,
+    multiplicity, spatial shape, retrigger schedule, targeted
+    structures, and the spec digest joining campaign identity.
 ``static``
     Run the static error-sensitivity analyzer (CFG + liveness +
     encoding-corruption prediction) over one or both kernel images;
@@ -136,6 +140,16 @@ def _add_exec_mode(parser: argparse.ArgumentParser) -> None:
         "the plain interpreter")
 
 
+def _add_fault_model(parser: argparse.ArgumentParser) -> None:
+    from repro.faults import DEFAULT_MODEL, available_models
+    parser.add_argument(
+        "--fault-model", choices=list(available_models()),
+        default=DEFAULT_MODEL, dest="fault_model",
+        help="registered fault model to inject (default "
+        f"'{DEFAULT_MODEL}', the paper's single-shot single-bit "
+        "flip; see `repro faults list`)")
+
+
 def _add_checkpoints(parser: argparse.ArgumentParser) -> None:
     from repro.checkpoint.ladder import DEFAULT_CHECKPOINTS
     parser.add_argument(
@@ -158,7 +172,8 @@ def cmd_study(args: argparse.Namespace) -> int:
                          store=args.store, resume=args.resume,
                          prune=_resolve_prune(args),
                          exec_mode=args.exec_mode,
-                         checkpoints=args.checkpoints)
+                         checkpoints=args.checkpoints,
+                         fault_model=args.fault_model)
     study = Study(config)
     for arch in ("x86", "ppc"):
         for kind in CampaignKind:
@@ -178,6 +193,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     prune = _resolve_prune(args)
     if prune != "none" and kind is not CampaignKind.CODE:
         raise SystemExit(f"--prune={prune} requires --kind code")
+    from repro.faults import model_applies
+    if not model_applies(args.fault_model, kind.value):
+        raise SystemExit(
+            f"--fault-model={args.fault_model} does not apply to "
+            f"--kind {kind.value}")
     outcome = run_campaign(args.arch, kind, count=args.count,
                            seed=args.seed, ops=args.ops,
                            workers=args.workers,
@@ -186,8 +206,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                            if args.progress else None,
                            prune=prune,
                            exec_mode=args.exec_mode,
-                           checkpoints=args.checkpoints)
-    if prune != "none":
+                           checkpoints=args.checkpoints,
+                           fault_model=args.fault_model)
+    if outcome.prune_escaped:
+        print(f"prune={prune} conservatively escaped: fault model "
+              f"{args.fault_model!r} flips multiple bits and "
+              f"single-bit inertness proofs do not compose",
+              file=sys.stderr)
+    elif prune != "none":
         print(f"prune={prune}: {outcome.pruned_draws} draw(s) "
               f"rejected and redrawn", file=sys.stderr)
     row = build_row(kind, outcome.results)
@@ -213,6 +239,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         from repro.analysis.export import dump_results
         count = dump_results(outcome.results, args.json)
         print(f"\nwrote {count} records to {args.json}")
+    return 0
+
+
+def cmd_faults_list(args: argparse.Namespace) -> int:
+    from repro.faults import available_models, get_model
+    print(f"{'model':<14} {'digest':<14} description")
+    for name in available_models():
+        model = get_model(name)
+        spec = model.spec
+        line = f"{name:<14} {spec.digest()[:12]:<14} {spec.describe()}"
+        if name == "single-bit":
+            line += "  [default]"
+        print(line)
     return 0
 
 
@@ -435,7 +474,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
               "count": args.count, "seed": args.seed, "ops": args.ops,
               "exec_mode": args.exec_mode,
               "checkpoints": args.checkpoints,
-              "prune": prune}
+              "prune": prune,
+              "fault_model": args.fault_model}
     try:
         out = client.submit(config, tenant=args.tenant,
                             priority=args.priority,
@@ -525,6 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_prune(study)
     _add_exec_mode(study)
     _add_checkpoints(study)
+    _add_fault_model(study)
     study.set_defaults(func=cmd_study)
 
     campaign = sub.add_parser("campaign", help="run one campaign")
@@ -539,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_prune(campaign)
     _add_exec_mode(campaign)
     _add_checkpoints(campaign)
+    _add_fault_model(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
     store = sub.add_parser("store",
@@ -595,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_prune(submit)
     _add_exec_mode(submit)
     _add_checkpoints(submit)
+    _add_fault_model(submit)
     _add_url(submit)
     submit.set_defaults(func=cmd_submit)
 
@@ -629,6 +672,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the three-stage cycles-to-crash "
                         "breakdown")
     replay.set_defaults(func=cmd_replay)
+
+    faults = sub.add_parser("faults",
+                            help="inspect registered fault models")
+    faults_sub = faults.add_subparsers(dest="action", required=True)
+    faults_list = faults_sub.add_parser(
+        "list", help="list registered fault models")
+    faults_list.set_defaults(func=cmd_faults_list)
 
     profile = sub.add_parser("profile", help="kernel usage profile")
     _add_common(profile)

@@ -81,6 +81,11 @@ class StudyConfig:
     #: clean-run snapshots per campaign context (0 disables); results
     #: are bit-identical either way (see repro.checkpoint)
     checkpoints: int = DEFAULT_CHECKPOINTS
+    #: registered fault-model name (see repro.faults); campaigns whose
+    #: kind the model does not apply to (e.g. "targeted" outside data)
+    #: fall back to the single-bit default so the study matrix always
+    #: completes
+    fault_model: str = "single-bit"
     overrides: Dict[str, Dict[CampaignKind, int]] = field(
         default_factory=dict)
 

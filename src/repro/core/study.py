@@ -53,6 +53,13 @@ class Study:
     def _campaign_config(self, arch: str, kind: CampaignKind,
                          count: Optional[int]) -> CampaignConfig:
         config = self.config
+        from repro.faults import DEFAULT_MODEL, model_applies
+        fault_model = config.fault_model
+        if not model_applies(fault_model, kind.value):
+            # e.g. "targeted" resolves named data structures, so only
+            # the data campaigns can use it; the rest of the matrix
+            # runs the paper's single-bit model
+            fault_model = DEFAULT_MODEL
         return CampaignConfig(
             arch=arch, kind=kind,
             count=count if count is not None
@@ -64,7 +71,8 @@ class Study:
             prune=config.prune if kind is CampaignKind.CODE
             else "none",
             exec_mode=config.exec_mode,
-            checkpoints=config.checkpoints)
+            checkpoints=config.checkpoints,
+            fault_model=fault_model)
 
     def _store(self, store=None):
         """Resolve *store* (path or CampaignStore) or the config's."""

@@ -1,0 +1,32 @@
+"""Pluggable fault models (``repro.faults``).
+
+The subsystem that turns the one-fault-model reproduction into an
+N-scenario platform: a fault model is a declarative
+:class:`~repro.faults.spec.FaultSpec` (pattern, multiplicity, spatial
+correlation, temporal schedule, targeted structures) registered under
+a name; the injector, campaign engine, durable store, campaign
+service, and CLI all select models by name, so the sharding /
+resume / checkpoint / replay machinery works for every model
+unchanged.  See :mod:`repro.faults.registry` for the four shipped
+models.
+"""
+
+from repro.faults.model import (
+    FaultModel, FaultModelError, FaultPlan, flip_mask, plan_span,
+    register_width,
+)
+from repro.faults.registry import (
+    DEFAULT_MODEL, TARGETED_STRUCTURES, available_models, get_model,
+    model_applies, register_model,
+)
+from repro.faults.spec import (
+    PATTERNS, SPATIAL, FaultSpec, FaultSpecError, spec_from_dict,
+)
+
+__all__ = [
+    "DEFAULT_MODEL", "PATTERNS", "SPATIAL", "TARGETED_STRUCTURES",
+    "FaultModel", "FaultModelError", "FaultPlan", "FaultSpec",
+    "FaultSpecError", "available_models", "flip_mask", "get_model",
+    "model_applies", "plan_span", "register_model", "register_width",
+    "spec_from_dict",
+]

@@ -1,0 +1,216 @@
+"""Fault-model mechanics: from a declarative spec to concrete flips.
+
+A :class:`FaultModel` wraps one :class:`~repro.faults.spec.FaultSpec`
+and derives, for one injection target and its per-experiment seed, the
+concrete :class:`FaultPlan` the injector executes: which ``(address,
+bit)`` pairs flip (memory kinds), which register bits flip (register
+kind), and the retrigger schedule (intermittent models).  The
+derivation is a **pure function** of ``(spec, target, seed)`` — no
+process state, no wall clock — so plans are identical across the
+serial loop, any sharding, checkpoint dispatch, store resume, and
+trace replay.
+
+The single-bit spec degenerates to exactly the legacy injector
+behavior: one flip at the target's own coordinates, no retriggers, and
+the derivation never consults the RNG — extracting it into the
+registry provably changes nothing (the pinned campaign digests are the
+proof, see ``tests/test_campaign_digests.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.faults.spec import FaultSpec
+
+
+class FaultModelError(Exception):
+    """A model cannot be applied (unknown name, bad kind, missing
+    symbol)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The concrete fault one experiment installs.
+
+    ``flips`` are absolute ``(byte address, bit 0-7)`` pairs for the
+    memory-backed kinds (code/stack/data); ``register_bits`` are bit
+    positions within the targeted register's width.  ``retriggers``
+    re-applications of the same flips follow the initial injection,
+    ``retrigger_period`` retired instructions apart.
+    """
+
+    flips: Tuple[Tuple[int, int], ...] = ()
+    register_bits: Tuple[int, ...] = ()
+    retriggers: int = 0
+    retrigger_period: int = 0
+
+
+class FaultModel:
+    """One registered fault model: a spec plus its pure derivations."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __repr__(self) -> str:
+        return f"FaultModel({self.spec.name!r})"
+
+    # -- applicability -----------------------------------------------------
+
+    def applies_to(self, kind_value: str) -> bool:
+        """Whether this model can drive a *kind_value* campaign.
+
+        Targeted models resolve named data structures, so they only
+        apply to ``data`` campaigns; every other shipped model applies
+        to all four target classes.
+        """
+        if self.spec.targeted:
+            return kind_value == "data"
+        return True
+
+    # -- derivation helpers ------------------------------------------------
+
+    def _rng(self, seed: int) -> random.Random:
+        """The model's private, stable RNG stream for one experiment.
+
+        Seeded off the spec name and the per-experiment seed (never
+        the campaign RNG), so adding a model — or running the
+        single-bit model, which never draws — cannot perturb any
+        existing stream.
+        """
+        return random.Random(f"repro.faults:{self.spec.name}:{seed}")
+
+    def _burst_size(self, seed: int) -> int:
+        spec = self.spec
+        if spec.min_bits == spec.max_bits:
+            return spec.min_bits
+        return self._rng(seed).randint(spec.min_bits, spec.max_bits)
+
+    def _schedule(self) -> Tuple[int, int]:
+        return (self.spec.retrigger_count, self.spec.retrigger_period)
+
+    # -- per-kind plans ----------------------------------------------------
+
+    def memory_plan(self, addr: int, bit: int, seed: int,
+                    lo: int, hi: int) -> FaultPlan:
+        """Flips for a stack/data target at ``(addr, bit 0-7)``.
+
+        A burst occupies consecutive absolute bit positions starting
+        at the target's own bit — row-correlated adjacency that spills
+        across byte and word boundaries — truncated at the enclosing
+        region ``[lo, hi)`` (a burst cannot escape the physical row it
+        upset).
+        """
+        size = self._burst_size(seed)
+        start = addr * 8 + (bit & 7)
+        flips: List[Tuple[int, int]] = []
+        for position in range(start, start + size):
+            byte_addr = position // 8
+            if not lo <= byte_addr < hi:
+                break
+            flips.append((byte_addr, position % 8))
+        retriggers, period = self._schedule()
+        return FaultPlan(flips=tuple(flips), retriggers=retriggers,
+                         retrigger_period=period)
+
+    def code_plan(self, addr: int, bit: int, insn_len: int,
+                  seed: int) -> FaultPlan:
+        """Flips for a code target: *bit* indexes into the
+        instruction's ``insn_len``-byte encoding; a burst stays within
+        the encoding (the corrupted fetch is the one the breakpoint
+        observes)."""
+        size = self._burst_size(seed)
+        limit = insn_len * 8
+        flips = tuple(
+            (addr + position // 8, position % 8)
+            for position in range(bit, min(bit + size, limit)))
+        retriggers, period = self._schedule()
+        return FaultPlan(flips=flips, retriggers=retriggers,
+                         retrigger_period=period)
+
+    def screen_span_bytes(self, bit: int, seed: int) -> int:
+        """Byte count a memory plan at ``bit`` (0-7) may span.
+
+        The clean-run screen must observe at least the watchpoint's
+        span or it would vouch for bytes it never checked; this bound
+        ignores region truncation (which only shrinks the real span),
+        so screening stays conservative without knowing the region.
+        Exactly 1 for single-bit models — the legacy screen.
+        """
+        size = self._burst_size(seed)
+        return ((bit & 7) + size - 1) // 8 + 1
+
+    def register_plan(self, bit: int, width: int, seed: int) -> FaultPlan:
+        """Bit positions to flip within a *width*-bit register."""
+        size = self._burst_size(seed)
+        bits = tuple(range(bit, min(bit + size, width)))
+        retriggers, period = self._schedule()
+        return FaultPlan(register_bits=bits, retriggers=retriggers,
+                         retrigger_period=period)
+
+    # -- targeted structure resolution -------------------------------------
+
+    def target_pool(self, image: object) -> Tuple[Tuple[int, int], ...]:
+        """Resolve the spec's named structures against *image*'s
+        linker symbols into ``(lo, hi)`` byte ranges.
+
+        The ranges form a weighted target set — target generation
+        draws uniformly over their union, so each structure's weight
+        is its size in bytes.  An unknown symbol is a hard error (a
+        targeted campaign against a structure that does not exist is a
+        configuration bug, not an empty result).
+        """
+        table = getattr(image, "globals", None)
+        if table is None:
+            raise FaultModelError(
+                f"model {self.name!r}: image has no symbol table")
+        ranges: List[Tuple[int, int]] = []
+        for symbol in self.spec.structures:
+            info = table.get(symbol)
+            if info is None:
+                known = ", ".join(sorted(table)[:8])
+                raise FaultModelError(
+                    f"model {self.name!r}: kernel image has no symbol "
+                    f"{symbol!r} (known: {known}, ...)")
+            ranges.append((info.addr, info.addr + info.size))
+        if not ranges:
+            raise FaultModelError(
+                f"model {self.name!r} has no structures to target")
+        return tuple(ranges)
+
+
+def register_width(arch: str, name: str, fallback: int = 32) -> int:
+    """Architectural width of a system register, by catalogue name."""
+    if arch == "x86":
+        from repro.x86.registers import P4_SYSTEM_REGISTERS
+        catalogue: Tuple = tuple(P4_SYSTEM_REGISTERS)
+    else:
+        from repro.ppc.registers import G4_SUPERVISOR_REGISTERS
+        catalogue = tuple(G4_SUPERVISOR_REGISTERS)
+    for reg in catalogue:
+        if reg.name == name:
+            return int(reg.bits)
+    return fallback
+
+
+def flip_mask(bits: Tuple[int, ...]) -> int:
+    """The XOR mask flipping every bit position in *bits*."""
+    mask = 0
+    for bit in bits:
+        mask |= 1 << bit
+    return mask
+
+
+def plan_span(plan: FaultPlan) -> Optional[Tuple[int, int]]:
+    """``(lo, hi)`` byte range covered by a memory plan's flips
+    (``None`` for register plans)."""
+    if not plan.flips:
+        return None
+    addrs = [addr for addr, _bit in plan.flips]
+    return (min(addrs), max(addrs) + 1)

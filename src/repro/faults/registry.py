@@ -1,0 +1,110 @@
+"""The fault-model registry and the four shipped models.
+
+A model is registered under its spec's name; campaigns, the store
+manifest, the service protocol, and the CLI all reference models by
+that name, so registering a new spec here (or via
+:func:`register_model` from an experiment script) makes it available
+to every layer — sharded engine, durable store, checkpoint dispatch,
+trace replay — with no further wiring.
+
+Shipped models
+--------------
+
+``single-bit``
+    The paper's model (Section 3.5): one flipped bit, single-shot.
+    The default, and byte-identical to the pre-registry injector.
+``burst``
+    Multi-bit upset: 2-8 adjacent bits per experiment (drawn
+    deterministically from the experiment seed), row-correlated so a
+    burst spills across byte and word boundaries — the MBU-dominated
+    failure mode modern radiation studies report (arXiv:2503.03722).
+``intermittent``
+    The single flipped bit re-fires on a deterministic schedule
+    (every ``retrigger_period`` retired instructions,
+    ``retrigger_count`` times) — a marginal cell toggling between
+    states rather than a single-shot upset.
+``targeted``
+    Single-bit faults aimed at named kernel data structures —
+    scheduler run-queue state, the syscall dispatch table, watchdog
+    timekeeping — resolved through linker symbols into a weighted
+    target set (arXiv:2603.25666's targeted-campaign methodology).
+    Applies to ``data`` campaigns only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.faults.model import FaultModel, FaultModelError
+from repro.faults.spec import FaultSpec
+
+#: the model every config defaults to (the paper's own)
+DEFAULT_MODEL = "single-bit"
+
+#: scheduler run-queue, syscall dispatch table, and watchdog/timer
+#: state, by linker symbol — the named structures the targeted model
+#: resolves (weights are the symbols' sizes)
+TARGETED_STRUCTURES: Tuple[str, ...] = (
+    "task_table",          # scheduler run-queue (task structs)
+    "current_pid",         # running-task selector
+    "nr_tasks",
+    "need_resched",        # preemption request flag
+    "runqueue_lock",
+    "jiffies",             # watchdog/timer state
+    "sys_call_table",      # syscall dispatch table
+)
+
+_REGISTRY: Dict[str, FaultModel] = {}
+_ORDER: List[str] = []
+
+
+def register_model(model: FaultModel, replace: bool = False) -> FaultModel:
+    """Register *model* under its spec name.
+
+    Re-registering an existing name is refused unless *replace* is
+    set — two specs silently sharing a name would fork campaign
+    identity from campaign behavior.
+    """
+    name = model.name
+    if name in _REGISTRY and not replace:
+        raise FaultModelError(
+            f"fault model {name!r} is already registered "
+            f"(pass replace=True to override)")
+    if name not in _REGISTRY:
+        _ORDER.append(name)
+    _REGISTRY[name] = model
+    return model
+
+
+def get_model(name: str) -> FaultModel:
+    """Look up a registered model (raises with the known names)."""
+    model = _REGISTRY.get(name)
+    if model is None:
+        raise FaultModelError(
+            f"unknown fault model {name!r}; registered: "
+            f"{', '.join(available_models())}")
+    return model
+
+
+def available_models() -> Tuple[str, ...]:
+    """Registered model names, in registration order."""
+    return tuple(_ORDER)
+
+
+def model_applies(name: str, kind_value: str) -> bool:
+    """Whether model *name* can drive a *kind_value* campaign."""
+    return get_model(name).applies_to(kind_value)
+
+
+def _register_builtins() -> None:
+    register_model(FaultModel(FaultSpec(name="single-bit")))
+    register_model(FaultModel(FaultSpec(
+        name="burst", min_bits=2, max_bits=8, spatial="adjacent")))
+    register_model(FaultModel(FaultSpec(
+        name="intermittent", retrigger_period=1500,
+        retrigger_count=4)))
+    register_model(FaultModel(FaultSpec(
+        name="targeted", structures=TARGETED_STRUCTURES)))
+
+
+_register_builtins()

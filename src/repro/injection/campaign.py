@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.checkpoint.ladder import (
     DEFAULT_CHECKPOINTS, CheckpointLadder, build_ladder,
 )
+from repro.faults import DEFAULT_MODEL, FaultModelError, get_model
 from repro.injection.collector import CrashDataCollector
 from repro.injection.injector import InjectionRun, RunSpec
 from repro.injection.outcomes import (
@@ -60,8 +61,20 @@ class CampaignConfig:
     #: like ``exec_mode``, a pure performance knob — bit-identical
     #: results either way, excluded from campaign identity
     checkpoints: int = DEFAULT_CHECKPOINTS
+    #: registered fault-model name (:mod:`repro.faults`); part of
+    #: campaign identity — two campaigns differing only here are
+    #: different experiments
+    fault_model: str = DEFAULT_MODEL
 
     def __post_init__(self):
+        try:
+            model = get_model(self.fault_model)
+        except FaultModelError as exc:
+            raise ValueError(str(exc)) from None
+        if not model.applies_to(self.kind.value):
+            raise ValueError(
+                f"fault model {self.fault_model!r} does not apply to "
+                f"{self.kind.value} campaigns")
         if self.exec_mode not in ("step", "block"):
             raise ValueError(
                 f"exec_mode must be 'step' or 'block', "
@@ -91,6 +104,10 @@ class CampaignResult:
     failures: list = field(default_factory=list)
     #: draws rejected during target generation by the prune policy
     pruned_draws: int = 0
+    #: True when a requested prune policy was conservatively escaped
+    #: because the fault model's multiplicity makes its single-bit
+    #: inertness proofs unsound (the campaign ran unpruned)
+    prune_escaped: bool = False
 
     @property
     def injected(self) -> int:
@@ -191,6 +208,9 @@ class Campaign:
         #: draws the prune policy rejected in the last
         #: ``generate_targets`` call (0 when prune is "none")
         self.pruned_draws = 0
+        #: True when the last ``generate_targets`` call conservatively
+        #: escaped the prune policy (multiplicity > 1 fault model)
+        self.prune_escaped = False
 
     # -- target generation -----------------------------------------------------
 
@@ -201,9 +221,26 @@ class Campaign:
                                     seed=self.config.seed ^ 0xBADC0DE)
         window = context.run_window
         kind = self.config.kind
+        model = get_model(self.config.fault_model)
         if kind is CampaignKind.CODE:
             prune_bits = None
-            if self.config.prune == "dead":
+            self.prune_escaped = False
+            if self.config.prune != "none" and \
+                    model.spec.multiplicity > 1:
+                # soundness gate: the static analyzer's inertness
+                # proofs are per-bit (decode-identical / masked-flow
+                # for ONE flipped bit) and do not compose — a pair of
+                # individually-inert flips can decode to a different
+                # instruction.  Escape loudly rather than prune
+                # unsoundly.
+                self.prune_escaped = True
+                logger.warning(
+                    "prune=%s escaped: fault model %r flips up to %d "
+                    "bits per experiment and single-bit inertness "
+                    "proofs do not compose; campaign runs unpruned",
+                    self.config.prune, self.config.fault_model,
+                    model.spec.multiplicity)
+            elif self.config.prune == "dead":
                 from repro.static.predictor import dead_code_bits
                 prune_bits = dead_code_bits(self.config.arch)
             elif self.config.prune == "taint":
@@ -231,14 +268,24 @@ class Campaign:
                                            list(machine.tasks),
                                            ranges, window)
         if kind is CampaignKind.DATA:
-            return generator.data_targets(self.config.count, window)
+            pool = None
+            if model.spec.targeted:
+                pool = model.target_pool(context.base_machine.image)
+            return generator.data_targets(self.config.count, window,
+                                          pool=pool)
         return generator.register_targets(self.config.count,
                                           self.config.arch, window)
 
     # -- screening ---------------------------------------------------------------
 
-    def _screen_not_activated(self, target) -> bool:
-        """True when the clean-run probe proves no activation."""
+    def _screen_not_activated(self, target, index: int = 0) -> bool:
+        """True when the clean-run probe proves no activation.
+
+        *index* is the target's global position — multi-bit models
+        need it because the watchpoint span (and therefore the byte
+        range the screen must vouch for) derives from the
+        per-experiment seed.  Single-bit models ignore it.
+        """
         probe = self.context.probe
         kind = self.config.kind
         if kind is CampaignKind.CODE:
@@ -247,8 +294,12 @@ class Campaign:
             # after the fork point (the injected run starts post-boot)
             return probe.first_executed_instret(target.addr) is None
         if kind in (CampaignKind.STACK, CampaignKind.DATA):
+            model = get_model(self.config.fault_model)
+            length = model.screen_span_bytes(
+                target.bit, self.config.seed + index * 7919)
             return probe.first_access_after(target.at_instret,
-                                            target.addr) is None
+                                            target.addr,
+                                            length=length) is None
         return False                      # registers: no screening
 
     # -- checkpoint selection ----------------------------------------------------
@@ -301,6 +352,7 @@ class Campaign:
             seed=config.seed + index * 7919,
             dump_loss_probability=config.dump_loss_probability,
             exec_mode=config.exec_mode,
+            fault_model=config.fault_model,
             checkpoint=checkpoint)
 
     def run_target(self, index: int, target) -> InjectionResult:
@@ -312,7 +364,7 @@ class Campaign:
         same result for the same target.
         """
         config = self.config
-        if self._screen_not_activated(target):
+        if self._screen_not_activated(target, index):
             return InjectionResult(
                 arch=config.arch, kind=config.kind, target=target,
                 outcome=Outcome.NOT_ACTIVATED, screened=True)
@@ -366,6 +418,7 @@ class Campaign:
                     progress(index + 1, len(targets))
         # every path above calls generate_targets on this instance
         out.pruned_draws = self.pruned_draws
+        out.prune_escaped = self.prune_escaped
         return out
 
 
@@ -375,11 +428,13 @@ def run_campaign(arch: str, kind: CampaignKind, count: int,
                  progress=None, prune: str = "none",
                  exec_mode: str = "block",
                  checkpoints: int = DEFAULT_CHECKPOINTS,
+                 fault_model: str = DEFAULT_MODEL,
                  progress_callback=None) -> CampaignResult:
     """One-call convenience wrapper."""
     config = CampaignConfig(arch=arch, kind=kind, count=count, seed=seed,
                             ops=ops, prune=prune, exec_mode=exec_mode,
-                            checkpoints=checkpoints)
+                            checkpoints=checkpoints,
+                            fault_model=fault_model)
     return Campaign(config).run(workers=workers, store=store,
                                 resume=resume, progress=progress,
                                 progress_callback=progress_callback)

@@ -19,18 +19,21 @@ window, and classifies the outcome:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.classify import classify_crash
 from repro.checkpoint.ladder import Checkpoint
+from repro.faults import (
+    DEFAULT_MODEL, FaultPlan, flip_mask, get_model, plan_span,
+    register_width,
+)
 from repro.injection.collector import CrashDataCollector
 from repro.injection.outcomes import (
     CampaignKind, InjectionResult, Outcome,
 )
-from repro.injection.targets import CodeTarget, RegisterTarget
-from repro.isa.bits import bit_flip
+from repro.injection.targets import CodeTarget, RegisterTarget, StackTarget
 from repro.machine.events import HangDetected, KernelCrash
-from repro.machine.machine import Machine, MachineConfig
+from repro.machine.machine import KSTACK_SIZE, Machine, MachineConfig
 from repro.machine.register_semantics import (
     apply_ppc_msr_flip, apply_x86_register_flip,
 )
@@ -50,6 +53,9 @@ class RunSpec:
     seed: int
     dump_loss_probability: float = 0.08
     exec_mode: str = "block"
+    #: registered fault-model name (:mod:`repro.faults`); the default
+    #: reproduces the paper's single-bit single-shot model exactly
+    fault_model: str = DEFAULT_MODEL
     #: start from this clean-run snapshot instead of the fork point
     #: (:mod:`repro.checkpoint`); results are bit-identical either way
     #: — the snapshot is just further along the same deterministic
@@ -62,6 +68,7 @@ class InjectionRun:
 
     def __init__(self, spec: RunSpec):
         self.spec = spec
+        self.model = get_model(spec.fault_model)
         self.collector = CrashDataCollector()
         config = MachineConfig(
             seed=spec.seed,
@@ -104,20 +111,74 @@ class InjectionRun:
         else:
             self._install_register(self.spec.target)
 
+    def _memory_region(self, target) -> Tuple[int, int]:
+        """Byte range enclosing *target* — the row a burst may span."""
+        machine = self.machine
+        if isinstance(target, StackTarget):
+            base = machine.tasks[target.pid].stack_base
+            return (base, base + KSTACK_SIZE)
+        image = machine.image
+        if image.data_base <= target.addr < image.data_end:
+            return (image.data_base, image.data_end)
+        heap_end = image.heap_base + len(image.heap_bytes)
+        if image.heap_bytes and image.heap_base <= target.addr < heap_end:
+            return (image.heap_base, heap_end)
+        return (target.addr, target.addr + 1)
+
+    def _arm_retriggers(self, plan: FaultPlan,
+                        apply_flips: Callable[[], None],
+                        label: str) -> None:
+        """Post-trigger arming hook for intermittent models.
+
+        The machine holds one pending action, so the schedule is a
+        chain: each firing re-applies the flips and schedules the next
+        firing relative to its own retire count.  Scheduling is always
+        relative to the fire-time ``instret``, which is identical under
+        checkpoint dispatch on or off and in both exec modes.
+        """
+        if plan.retriggers <= 0:
+            return
+        machine = self.machine
+        remaining = [plan.retriggers]
+
+        def fire() -> None:
+            apply_flips()
+            remaining[0] -= 1
+            if machine.trace is not None:
+                machine.trace.on_inject(
+                    machine, f"{label} retrigger "
+                    f"({remaining[0]} remaining)")
+            if remaining[0] > 0:
+                machine.schedule_action(
+                    machine.cpu.instret + plan.retrigger_period, fire)
+
+        machine.schedule_action(
+            machine.cpu.instret + plan.retrigger_period, fire)
+
     def _install_code(self, target: CodeTarget) -> None:
         machine = self.machine
         debug = machine.cpu.debug
         debug.set_instruction_breakpoint(target.addr)
+        plan = self.model.code_plan(target.addr, target.bit,
+                                    target.insn_len, self.spec.seed)
+
+        def apply_flips() -> None:
+            for addr, bit in plan.flips:
+                machine.flip_memory_bit(addr, bit)
 
         def flip() -> None:
-            byte_offset = target.bit // 8
-            machine.flip_memory_bit(target.addr + byte_offset,
-                                    target.bit % 8)
+            apply_flips()
             if machine.trace is not None:
+                if len(plan.flips) == 1:
+                    detail = (f"code bit {target.bit} at "
+                              f"{target.addr:#010x} ({target.function})")
+                else:
+                    detail = (f"code burst x{len(plan.flips)} from bit "
+                              f"{target.bit} at {target.addr:#010x} "
+                              f"({target.function})")
                 machine.trace.on_inject(
-                    machine, f"code bit {target.bit} at "
-                    f"{target.addr:#010x} ({target.function})",
-                    addr=target.addr + byte_offset)
+                    machine, detail, addr=plan.flips[0][0])
+            self._arm_retriggers(plan, apply_flips, "code")
 
         def on_hit(hit) -> None:
             self.activated = True
@@ -145,6 +206,16 @@ class InjectionRun:
     def _install_memory(self, target) -> None:
         machine = self.machine
         debug = machine.cpu.debug
+        region_lo, region_hi = self._memory_region(target)
+        plan = self.model.memory_plan(target.addr, target.bit,
+                                      self.spec.seed,
+                                      region_lo, region_hi)
+        span = plan_span(plan)
+        assert span is not None, "memory plan with no flips"
+
+        def apply_flips() -> None:
+            for addr, bit in plan.flips:
+                machine.flip_memory_bit(addr, bit)
 
         def on_access(hit) -> None:
             if self.activated:
@@ -159,23 +230,51 @@ class InjectionRun:
             if hit.kind.value == "write":
                 # the write clobbered the error: re-inject into the
                 # fresh value (paper Section 3.3)
-                machine.flip_memory_bit(target.addr, target.bit)
+                apply_flips()
             debug.clear_watchpoint(hit.watchpoint)
 
         def inject() -> None:
-            machine.flip_memory_bit(target.addr, target.bit)
+            apply_flips()
             if machine.trace is not None:
-                machine.trace.on_inject(
-                    machine, f"memory bit {target.bit} at "
-                    f"{target.addr:#010x}", addr=target.addr)
-            debug.set_watchpoint(target.addr, length=1)
+                if len(plan.flips) == 1:
+                    detail = (f"memory bit {target.bit} at "
+                              f"{target.addr:#010x}")
+                else:
+                    detail = (f"memory burst x{len(plan.flips)} from "
+                              f"bit {target.bit} at {target.addr:#010x}")
+                machine.trace.on_inject(machine, detail,
+                                        addr=target.addr)
+            debug.set_watchpoint(span[0], length=span[1] - span[0])
             debug.on_watchpoint = on_access
+            self._arm_retriggers(plan, apply_flips, "memory")
 
         machine.schedule_action(target.at_instret, inject)
 
     def _install_register(self, target: RegisterTarget) -> None:
         machine = self.machine
         cpu = machine.cpu
+        # bursts clamp at the architectural width; the clamp never
+        # excludes the target's own bit (legacy behavior flipped it
+        # unconditionally within the 32-bit value)
+        width = max(register_width(machine.arch, target.name),
+                    target.bit + 1)
+        plan = self.model.register_plan(target.bit, width,
+                                        self.spec.seed)
+        mask = flip_mask(plan.register_bits)
+
+        def apply_flips() -> None:
+            if machine.arch == "x86":
+                value = getattr(cpu, target.attr)
+                apply_x86_register_flip(
+                    machine, target.attr,
+                    (value ^ mask) & 0xFFFFFFFF)
+            elif target.spr == -1:
+                apply_ppc_msr_flip(machine,
+                                   (cpu.msr ^ mask) & 0xFFFFFFFF)
+            else:
+                cpu.set_spr(target.spr,
+                            (cpu.get_spr(target.spr) ^ mask)
+                            & 0xFFFFFFFF)
 
         def inject() -> None:
             # activation is not observable for system registers; the
@@ -183,20 +282,16 @@ class InjectionRun:
             self.activation_cycles = cpu.cycles
             self.activation_instret = cpu.instret
             if machine.trace is not None:
-                machine.trace.on_inject(
-                    machine, f"register bit {target.bit} in "
-                    f"{target.name}", reg=target.name)
-            if machine.arch == "x86":
-                value = getattr(cpu, target.attr)
-                apply_x86_register_flip(
-                    machine, target.attr, bit_flip(value, target.bit))
-            elif target.spr == -1:
-                apply_ppc_msr_flip(machine,
-                                   bit_flip(cpu.msr, target.bit))
-            else:
-                cpu.set_spr(target.spr,
-                            bit_flip(cpu.get_spr(target.spr),
-                                     target.bit))
+                if len(plan.register_bits) == 1:
+                    detail = (f"register bit {target.bit} in "
+                              f"{target.name}")
+                else:
+                    detail = (f"register burst x{len(plan.register_bits)}"
+                              f" from bit {target.bit} in {target.name}")
+                machine.trace.on_inject(machine, detail,
+                                        reg=target.name)
+            apply_flips()
+            self._arm_retriggers(plan, apply_flips, "register")
 
         machine.schedule_action(target.at_instret, inject)
 

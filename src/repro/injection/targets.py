@@ -151,20 +151,45 @@ class TargetGenerator:
 
     # -- data ---------------------------------------------------------------
 
-    def data_targets(self, count: int, run_instret: Tuple[int, int]
+    def data_targets(self, count: int, run_instret: Tuple[int, int],
+                     pool: Optional[Sequence[Tuple[int, int]]] = None
                      ) -> List[DataTarget]:
+        """Pre-generate *count* data targets.
+
+        By default addresses draw uniformly over the ``.data`` section
+        (the paper's model).  With *pool* — ``(lo, hi)`` byte ranges
+        from a targeted fault model — addresses draw uniformly over
+        the union of the ranges instead, so each named structure's
+        weight is its size in bytes.
+        """
         image = self.image
         lo, hi = run_instret
         init_ranges = image.init_data_ranges
         out: List[DataTarget] = []
         for _ in range(count):
-            addr = self.rng.randrange(image.data_base, image.data_end)
+            if pool is None:
+                addr = self.rng.randrange(image.data_base,
+                                          image.data_end)
+            else:
+                addr = self._pool_draw(pool)
             initialized = any(addr in r for r in init_ranges)
             out.append(DataTarget(
                 addr=addr, bit=self.rng.randrange(8),
                 at_instret=self.rng.randrange(lo, hi),
                 initialized=initialized))
         return out
+
+    def _pool_draw(self, pool: Sequence[Tuple[int, int]]) -> int:
+        """One uniform draw over the union of ``(lo, hi)`` ranges."""
+        total = sum(hi - lo for lo, hi in pool)
+        if total <= 0:
+            raise ValueError(f"empty target pool: {pool!r}")
+        offset = self.rng.randrange(total)
+        for lo, hi in pool:
+            if offset < hi - lo:
+                return lo + offset
+            offset -= hi - lo
+        raise AssertionError("unreachable")
 
     # -- registers -----------------------------------------------------------
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.checkpoint.ladder import DEFAULT_CHECKPOINTS
 from repro.core.config import StudyConfig
+from repro.faults import DEFAULT_MODEL, available_models, model_applies
 from repro.injection.campaign import PRUNE_POLICIES, CampaignConfig
 from repro.injection.outcomes import CampaignKind
 
@@ -26,10 +27,11 @@ EXEC_MODES = ("block", "step")
 #: fails loudly instead of silently running with the default
 CAMPAIGN_FIELDS = ("arch", "kind", "count", "seed", "ops",
                    "dump_loss_probability", "prune", "exec_mode",
-                   "checkpoints")
+                   "checkpoints", "fault_model")
 
 STUDY_FIELDS = ("seed", "scale", "ops", "dump_loss_probability",
-                "min_campaign", "prune", "exec_mode", "checkpoints")
+                "min_campaign", "prune", "exec_mode", "checkpoints",
+                "fault_model")
 
 
 class ValidationError(Exception):
@@ -109,7 +111,10 @@ def campaign_config_from_payload(payload) -> CampaignConfig:
             exec_mode=_choice_field(payload, "exec_mode", "block",
                                     EXEC_MODES),
             checkpoints=_int_field(payload, "checkpoints",
-                                   DEFAULT_CHECKPOINTS, minimum=0))
+                                   DEFAULT_CHECKPOINTS, minimum=0),
+            fault_model=_choice_field(payload, "fault_model",
+                                      DEFAULT_MODEL,
+                                      available_models()))
     except ValueError as exc:      # e.g. prune on a non-code campaign
         raise ValidationError(str(exc))
 
@@ -135,7 +140,9 @@ def study_configs_from_payload(payload) -> List[CampaignConfig]:
         exec_mode=_choice_field(payload, "exec_mode", "block",
                                 EXEC_MODES),
         checkpoints=_int_field(payload, "checkpoints",
-                               DEFAULT_CHECKPOINTS, minimum=0))
+                               DEFAULT_CHECKPOINTS, minimum=0),
+        fault_model=_choice_field(payload, "fault_model",
+                                  DEFAULT_MODEL, available_models()))
     configs = []
     for arch in ARCHES:
         for kind in CampaignKind:
@@ -147,7 +154,12 @@ def study_configs_from_payload(payload) -> List[CampaignConfig]:
                 prune=study.prune if kind is CampaignKind.CODE
                 else "none",
                 exec_mode=study.exec_mode,
-                checkpoints=study.checkpoints))
+                checkpoints=study.checkpoints,
+                # mirror Study._campaign_config: kinds the model does
+                # not apply to fall back to the single-bit default
+                fault_model=study.fault_model
+                if model_applies(study.fault_model, kind.value)
+                else DEFAULT_MODEL))
     return configs
 
 
@@ -160,4 +172,5 @@ def config_to_payload(config: CampaignConfig) -> Dict[str, object]:
         "dump_loss_probability": config.dump_loss_probability,
         "prune": config.prune, "exec_mode": config.exec_mode,
         "checkpoints": config.checkpoints,
+        "fault_model": config.fault_model,
     }

@@ -28,8 +28,9 @@ from repro.store.codec import canonical_json
 #: bump when the journal record layout or the identity derivation
 #: changes; part of ``code_version``, so old stores are never misread
 #: (format 2: manifests record the target prune policy; format 3:
-#: journal records carry activation_instret/crash_instret)
-STORE_FORMAT = 3
+#: journal records carry activation_instret/crash_instret; format 4:
+#: the fault model joins campaign identity)
+STORE_FORMAT = 4
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
@@ -60,6 +61,10 @@ class CampaignManifest:
     #: target prune policy ("none" | "dead" | "taint"); part of the
     #: identity — a pruned campaign draws a different target stream
     prune: str = "none"
+    #: fault-model name (:mod:`repro.faults`); part of the identity —
+    #: two campaigns differing only in fault model are different
+    #: experiments
+    fault_model: str = "single-bit"
 
     @classmethod
     def from_config(cls, config) -> "CampaignManifest":
@@ -70,13 +75,28 @@ class CampaignManifest:
             dump_loss_probability=config.dump_loss_probability,
             profile_coverage=config.profile_coverage,
             code_version=code_version(),
-            prune=getattr(config, "prune", "none"))
+            prune=getattr(config, "prune", "none"),
+            fault_model=getattr(config, "fault_model", "single-bit"))
 
     # -- identity ----------------------------------------------------------
 
+    def _hash_payload(self) -> dict:
+        """The dict the identity and hash derivations cover.
+
+        The default ``single-bit`` model serializes to the
+        pre-fault-model (format 3) shape — the field is dropped — so
+        legacy single-bit manifests keep their campaign ids and verify
+        against their stored hashes unchanged; any other model joins
+        the payload and forks the identity.
+        """
+        payload = dataclasses.asdict(self)
+        if payload["fault_model"] == "single-bit":
+            payload.pop("fault_model")
+        return payload
+
     def identity(self) -> dict:
         """Everything that pins the result stream (count excluded)."""
-        payload = dataclasses.asdict(self)
+        payload = self._hash_payload()
         payload.pop("count")
         return payload
 
@@ -90,7 +110,7 @@ class CampaignManifest:
     def manifest_hash(self) -> str:
         """Covers *all* fields (count included) — drift detection."""
         digest = hashlib.sha256(
-            canonical_json(dataclasses.asdict(self)).encode("utf-8"))
+            canonical_json(self._hash_payload()).encode("utf-8"))
         return digest.hexdigest()
 
     # -- persistence -------------------------------------------------------

@@ -115,6 +115,7 @@ class Replayer:
             dump_loss_probability=self.manifest.dump_loss_probability,
             profile_coverage=self.manifest.profile_coverage,
             prune=self.manifest.prune,
+            fault_model=self.manifest.fault_model,
             # replay always single-steps: the dissector reasons about
             # per-instruction trace events, and a recorder forces the
             # step core anyway — exec_mode is not part of campaign
@@ -184,7 +185,7 @@ class Replayer:
                 f"index {index} outside campaign "
                 f"{self.campaign_id}'s target list")
         # a screened experiment never ran a machine; replay re-screens
-        if self.campaign._screen_not_activated(target):
+        if self.campaign._screen_not_activated(target, index):
             replayed = InjectionResult(
                 arch=self.config.arch, kind=self.config.kind,
                 target=target, outcome=Outcome.NOT_ACTIVATED,

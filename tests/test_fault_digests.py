@@ -1,0 +1,80 @@
+"""Fault-model campaign outcomes pinned against recorded digests.
+
+``tests/data/fault_model_digests.json`` pins one deterministic
+campaign per non-default fault model per architecture (the single-bit
+model is pinned by the eight ``campaign_digests.json`` recordings,
+which this suite's registry extraction provably left byte-identical).
+Each gate campaign replays three ways:
+
+* serially (the recording conditions),
+* sharded at ``workers=2`` — the per-model determinism sweep: plan
+  derivation keys on the global index, so sharding must be invisible,
+* with checkpoint dispatch disabled — for the intermittent model this
+  is the retrigger-equivalence proof: the post-trigger arming chain
+  schedules relative to fire-time instret, so time-travel dispatch
+  must not move a single re-flip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.outcomes import CampaignKind
+
+DIGEST_PATH = Path(__file__).parent / "data" \
+    / "fault_model_digests.json"
+DIGESTS = json.loads(DIGEST_PATH.read_text())
+
+_KINDS = {kind.value: kind for kind in CampaignKind}
+
+
+def _digest(result) -> str:
+    from repro.store.codec import canonical_json, result_to_dict
+    payload = canonical_json(
+        [result_to_dict(r) for r in result.results])
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _run_and_check(key, workers, x86_context, ppc_context,
+                   checkpoints=None):
+    arch, model = key.split("/")
+    recorded = DIGESTS[key]
+    extra = {} if checkpoints is None else {"checkpoints": checkpoints}
+    config = CampaignConfig(arch=arch, kind=_KINDS[recorded["kind"]],
+                            count=recorded["count"],
+                            seed=recorded["seed"], ops=recorded["ops"],
+                            fault_model=model, **extra)
+    context = x86_context if arch == "x86" else ppc_context
+    result = Campaign(config, context).run(workers=workers)
+    assert result.injected == recorded["count"]
+    assert not result.failures
+    assert _digest(result) == recorded["sha256"], (
+        f"{key} (workers={workers}, checkpoints={checkpoints}) "
+        f"diverged from the recording")
+
+
+@pytest.mark.parametrize(
+    "key", sorted(DIGESTS),
+    ids=[key.replace("/", "-") for key in sorted(DIGESTS)])
+@pytest.mark.parametrize("workers", [1, 2],
+                         ids=["serial", "workers2"])
+def test_matches_recorded_digest(key, workers, x86_context,
+                                 ppc_context):
+    _run_and_check(key, workers, x86_context, ppc_context)
+
+
+@pytest.mark.parametrize(
+    "key", sorted(DIGESTS),
+    ids=[key.replace("/", "-") for key in sorted(DIGESTS)])
+def test_checkpoints_disabled_still_matches(key, x86_context,
+                                            ppc_context):
+    """From-boot dispatch pins to the same digests the checkpointed
+    runs match — in particular the intermittent retrigger chain fires
+    at identical instrets whether or not the pre-trigger replay was
+    skipped."""
+    _run_and_check(key, 1, x86_context, ppc_context, checkpoints=0)
